@@ -1,0 +1,82 @@
+"""Ablation — coordination cost scaling (paper Section III-B3).
+
+"This adaptive mechanism scales according to the number of storage
+targets rather than the number of writers.  The coordinator is only
+involved in the process once the bulk of writers are complete."
+
+We quadruple the writer count at a fixed target count and check the
+coordinator's message traffic stays ~flat, while the per-SC traffic
+grows with its group size (each of its writers reports to it).
+"""
+
+import pytest
+
+from repro.apps.pixie3d import pixie3d
+from repro.core.transports import AdaptiveTransport
+from repro.harness.report import format_table
+from repro.machines import jaguar
+
+_SCALES = {
+    "smoke": dict(n_osts=8, writer_counts=(16, 64), samples=1),
+    "small": dict(n_osts=32, writer_counts=(64, 256, 1024), samples=2),
+    "paper": dict(n_osts=512, writer_counts=(1024, 4096, 16384),
+                  samples=3),
+}
+
+
+@pytest.mark.benchmark(group="ablation-message-load")
+def test_ablation_coordinator_message_load(benchmark, scale, save_result):
+    cfg = _SCALES[scale.value]
+
+    def sweep():
+        out = {}
+        for n in cfg["writer_counts"]:
+            coord_msgs, total_msgs, adaptive_ct = [], [], []
+            for s in range(cfg["samples"]):
+                machine = jaguar(n_osts=cfg["n_osts"]).build(
+                    n_ranks=n, seed=4000 + s
+                )
+                res = AdaptiveTransport().run(
+                    machine, pixie3d("small"), output_name="abl"
+                )
+                coord_msgs.append(res.coordinator_messages)
+                total_msgs.append(res.messages_sent)
+                adaptive_ct.append(res.n_adaptive_writes)
+            out[n] = (
+                sum(coord_msgs) / len(coord_msgs),
+                sum(total_msgs) / len(total_msgs),
+                sum(adaptive_ct) / len(adaptive_ct),
+            )
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (n, c, t, a, t / n) for n, (c, t, a) in out.items()
+    ]
+    save_result(
+        "ablation_message_load",
+        format_table(
+            ["writers", "coord msgs", "total msgs", "steered",
+             "msgs/writer"],
+            rows,
+            title=(
+                "Ablation — message load vs writer count "
+                f"({cfg['n_osts']} targets)"
+            ),
+        ),
+    )
+
+    counts = list(cfg["writer_counts"])
+    growth_writers = counts[-1] / counts[0]
+    c_first = out[counts[0]][0]
+    c_last = out[counts[-1]][0]
+    # Coordinator traffic is bounded by target count, not writers:
+    # growth must be far below the writer growth.
+    assert c_last <= c_first * max(2.0, growth_writers / 4), (
+        f"coordinator messages grew {c_last / c_first:.1f}x for a "
+        f"{growth_writers:.0f}x writer increase"
+    )
+    # Total traffic is Theta(writers): per-writer message count stays
+    # bounded by a small constant.
+    for n, (_c, t, _a) in out.items():
+        assert t / n < 10.0

@@ -1,0 +1,65 @@
+"""Ablation — how many storage targets should adaptive IO use?
+
+The paper evaluates with 512 of Jaguar's 672 OSTs and reports the
+full 672 shows "no penalties".  This bench sweeps the target count:
+crossing the MPI-IO stripe cap (the 160-of-672 proportion) is where
+the structural win comes from; beyond that, more targets help until
+each group has ~1 writer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.pixie3d import pixie3d
+from repro.core.transports import AdaptiveTransport
+from repro.harness.report import format_table
+from repro.machines import jaguar
+
+_SCALES = {
+    # ost counts scaled ~1/8 of (160, 512, 672)
+    "smoke": dict(n_ranks=64, pool=16, counts=(4, 8, 16), samples=1),
+    "small": dict(n_ranks=512, pool=84, counts=(20, 64, 84), samples=3),
+    "paper": dict(n_ranks=8192, pool=672, counts=(160, 512, 672),
+                  samples=5),
+}
+
+
+@pytest.mark.benchmark(group="ablation-ost-count")
+def test_ablation_ost_count(benchmark, scale, save_result):
+    cfg = _SCALES[scale.value]
+
+    def sweep():
+        out = {}
+        for n_osts in cfg["counts"]:
+            bws = []
+            for s in range(cfg["samples"]):
+                machine = jaguar(n_osts=cfg["pool"]).build(
+                    n_ranks=cfg["n_ranks"], seed=3000 + s
+                )
+                res = AdaptiveTransport(n_osts_used=n_osts).run(
+                    machine, pixie3d("large"), output_name="abl"
+                )
+                bws.append(res.aggregate_bandwidth)
+            out[n_osts] = float(np.mean(bws))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(k, bw / 1e9) for k, bw in out.items()]
+    save_result(
+        "ablation_ost_count",
+        format_table(
+            ["targets used", "GB/s"],
+            rows,
+            title=(
+                "Ablation — adaptive target count "
+                f"({cfg['n_ranks']} procs, pool {cfg['pool']})"
+            ),
+        ),
+    )
+
+    counts = list(cfg["counts"])
+    # More targets must monotonically help (within noise) ...
+    assert out[counts[-1]] >= out[counts[0]]
+    # ... and using the whole pool shows "no penalties" vs the paper's
+    # 512-of-672 evaluation point.
+    assert out[counts[-1]] >= out[counts[-2]] * 0.9

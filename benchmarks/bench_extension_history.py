@@ -1,0 +1,104 @@
+"""Extension — history-aware adaptation (paper future work, §VI).
+
+"there are likely more complex and/or state-rich methods for system
+adaptation, including those that take into account past usage data."
+
+A campaign of output steps on a machine with *persistently* slow
+targets (a co-located long-running reader study parked on a few
+OSTs).  Vanilla adaptive re-discovers the slow targets every step,
+paying the first-write penalty each time; the history-aware variant
+seeds group sizes from past bandwidth estimates and should win from
+the second step on — and must NOT lose when the slowness is purely
+transient (no exploitable history).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.xgc1 import xgc1
+from repro.core.transports import (
+    AdaptiveTransport,
+    HistoryAwareAdaptiveTransport,
+)
+from repro.harness.report import format_table
+from repro.machines import jaguar
+
+_SCALES = {
+    "smoke": dict(n_ranks=64, n_osts=8, steps=3, slow=(0,)),
+    "small": dict(n_ranks=512, n_osts=32, steps=4, slow=(0, 1, 2)),
+    "paper": dict(n_ranks=8192, n_osts=512, steps=6,
+                  slow=tuple(range(24))),
+}
+
+
+def _campaign(transport_factory, cfg, seed_base, persistent):
+    transport = transport_factory()
+    times = []
+    rng = np.random.default_rng(seed_base)
+    for step in range(cfg["steps"]):
+        machine = jaguar(n_osts=cfg["n_osts"]).build(
+            n_ranks=cfg["n_ranks"], seed=seed_base + step
+        )
+        if persistent:
+            slow = np.array(cfg["slow"])
+        else:
+            slow = rng.choice(cfg["n_osts"], size=len(cfg["slow"]),
+                              replace=False)
+        machine.pool.set_load_multiplier(0.07, osts=slow)
+        res = transport.run(machine, xgc1(), output_name=f"c{step}")
+        times.append(res.reported_time)
+    return times
+
+
+@pytest.mark.benchmark(group="extension-history")
+def test_extension_history_aware(benchmark, scale, save_result):
+    cfg = _SCALES[scale.value]
+
+    def sweep():
+        out = {}
+        for label, persistent in (("persistent", True),
+                                  ("transient", False)):
+            out[("adaptive", label)] = _campaign(
+                AdaptiveTransport, cfg, 7000, persistent
+            )
+            out[("history", label)] = _campaign(
+                HistoryAwareAdaptiveTransport, cfg, 7000, persistent
+            )
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (method, cond), times in out.items():
+        rows.append(
+            (method, cond, float(np.mean(times)),
+             float(np.mean(times[1:])))
+        )
+    save_result(
+        "extension_history",
+        format_table(
+            ["method", "slow targets", "mean step (s)",
+             "mean after warm-up (s)"],
+            rows,
+            title=(
+                "Extension — history-aware adaptation "
+                f"({cfg['n_ranks']} procs, {cfg['n_osts']} targets, "
+                f"{len(cfg['slow'])} slow)"
+            ),
+        ),
+    )
+
+    if scale.value == "smoke":
+        return  # one slow target of eight never gates the critical path
+    # Persistent slowness: history must help after warm-up.
+    ad = np.mean(out[("adaptive", "persistent")][1:])
+    hi = np.mean(out[("history", "persistent")][1:])
+    assert hi <= ad * 1.02, (
+        f"history-aware ({hi:.2f}s) failed to beat vanilla ({ad:.2f}s) "
+        f"under persistent slow targets"
+    )
+    # Transient slowness: history must not hurt much.
+    ad_t = np.mean(out[("adaptive", "transient")])
+    hi_t = np.mean(out[("history", "transient")])
+    assert hi_t <= ad_t * 1.25, (
+        f"history-aware degraded transient case {hi_t / ad_t:.2f}x"
+    )

@@ -1,0 +1,115 @@
+"""Extension — adaptive IO on systems beyond Jaguar's Lustre.
+
+The paper's future work: "examine the benefits of adaptive IO on
+systems beyond Lustre at ORNL, including Franklin at NERSC, PanFS on
+Sandia's XTP, and perhaps, GPFS on a BlueGene/P machine."
+
+This bench runs the adaptive-vs-MPI-IO comparison on all four machine
+models under each machine's ambient noise.  Measured shape (a genuine
+finding of this reproduction): the benefit is largest where a stripe
+cap structurally starves the baseline (Jaguar), positive wherever
+production interference gives steering something to dodge (Franklin,
+BG/P), and can go *negative* on a quiet, capless PanFS system —
+serializing one writer per target forgoes concurrency and there is no
+interference to avoid.  Adaptive IO is a remedy for contention, not a
+universal accelerator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.pixie3d import pixie3d
+from repro.core.transports import AdaptiveTransport, MpiIoTransport
+from repro.harness.report import format_table
+from repro.interference import install_production_noise
+from repro.machines import bluegene_p, franklin, jaguar, xtp
+
+_SCALES = {
+    "smoke": dict(samples=1, scale_div=8),
+    "small": dict(samples=3, scale_div=8),
+    "paper": dict(samples=5, scale_div=1),
+}
+
+
+def _machines(scale_div):
+    # (spec factory, n_ranks, adaptive target count)
+    return {
+        "jaguar": (
+            lambda: jaguar(n_osts=672 // scale_div).with_overrides(
+                max_stripe_count=160 // scale_div
+            ),
+            4096 // scale_div,
+            512 // scale_div,
+        ),
+        "franklin": (
+            lambda: franklin(n_osts=96 // max(1, scale_div // 4)),
+            1536 // scale_div,
+            96 // max(1, scale_div // 4),
+        ),
+        "xtp": (lambda: xtp(), 1440 // scale_div, 40),
+        "bluegene_p": (
+            lambda: bluegene_p(n_nsd_servers=128 // max(1, scale_div // 4)),
+            4096 // scale_div,
+            128 // max(1, scale_div // 4),
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="extension-machines")
+def test_extension_other_machines(benchmark, scale, save_result):
+    cfg = _SCALES[scale.value]
+
+    def sweep():
+        out = {}
+        for name, (spec_factory, n_ranks, ad_osts) in _machines(
+            cfg["scale_div"]
+        ).items():
+            speedups = []
+            for s in range(cfg["samples"]):
+                mpi_bw, ad_bw = [], []
+                for method in ("mpiio", "adaptive"):
+                    machine = spec_factory().build(
+                        n_ranks=n_ranks, seed=6000 + s
+                    )
+                    install_production_noise(machine, live=True)
+                    transport = (
+                        AdaptiveTransport(n_osts_used=ad_osts)
+                        if method == "adaptive"
+                        else MpiIoTransport(build_index=False)
+                    )
+                    res = transport.run(
+                        machine, pixie3d("large"), output_name="ext"
+                    )
+                    (ad_bw if method == "adaptive" else mpi_bw).append(
+                        res.aggregate_bandwidth
+                    )
+                speedups.append(ad_bw[0] / mpi_bw[0])
+            out[name] = float(np.mean(speedups))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(name, s) for name, s in out.items()]
+    save_result(
+        "extension_machines",
+        format_table(
+            ["machine", "adaptive/mpiio speedup"],
+            rows,
+            title=(
+                "Extension — adaptive IO beyond Jaguar "
+                "(Pixie3D large, production noise)"
+            ),
+        ),
+    )
+
+    # Stripe-capped Lustre under production noise: the paper's regime.
+    assert out["jaguar"] > 1.5, f"jaguar speedup {out['jaguar']:.2f}x"
+    # Noisy systems without the structural cap: steering still helps.
+    assert out["franklin"] > 1.0
+    assert out["bluegene_p"] > 1.0
+    # Quiet capless PanFS: no contention to dodge — adaptive may lose,
+    # but serialization at the per-stream cap bounds how badly.
+    assert out["xtp"] > 0.4
+    assert out["jaguar"] > out["xtp"], (
+        "the structural (stripe-cap) win must exceed the"
+        " steering-only win"
+    )

@@ -1,0 +1,53 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Not a paper artifact — this guards the performance properties the
+repo-scale experiments depend on: the max-min fair allocator must stay
+O(rounds x flows) vectorized, and an end-to-end settle must stay
+cheap at 16k concurrent flows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.fabric import FlowNetwork, UniformSinkPool, max_min_fair_rates
+from repro.sim import Environment
+
+
+def _random_case(n_flows, n_src, n_dst, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, n_src, n_flows),
+        rng.integers(0, n_dst, n_flows),
+        rng.uniform(1e8, 2e9, n_src),
+        rng.uniform(1e7, 5e8, n_dst),
+        rng.uniform(1e6, 3e8, n_flows),
+    )
+
+
+@pytest.mark.benchmark(group="fabric-micro")
+@pytest.mark.parametrize("n_flows", [1024, 16384])
+def test_max_min_allocation_speed(benchmark, n_flows):
+    src, dst, cs, cd, fcap = _random_case(n_flows, 1400, 672)
+    rates = benchmark(max_min_fair_rates, src, dst, cs, cd, fcap)
+    per_dst = np.bincount(dst, weights=rates, minlength=672)
+    assert (per_dst <= cd * (1 + 1e-9)).all()
+
+
+@pytest.mark.benchmark(group="fabric-micro")
+def test_settle_speed_16k_flows(benchmark):
+    """One flow-arrival settle with 16k concurrent flows."""
+    env = Environment()
+    pool = UniformSinkPool(672, 1.8e8)
+    net = FlowNetwork(env, np.full(1400, 1.6e9), pool,
+                      default_flow_cap=3e8)
+    rng = np.random.default_rng(1)
+    for _ in range(16384):
+        net.start_flow(
+            int(rng.integers(0, 1400)), int(rng.integers(0, 672)), 1e12
+        )
+
+    def one_settle():
+        net.invalidate()
+
+    benchmark(one_settle)
+    assert net.active_flow_count == 16384

@@ -1,0 +1,49 @@
+"""Regenerates Fig. 1 — internal interference (IOR scaling on Jaguar).
+
+Shape targets from the paper:
+* per-writer bandwidth decreases monotonically with writer count (1b);
+* aggregate bandwidth peaks at a small writers-per-OST ratio and then
+  declines for drain-bound sizes (1a);
+* >=128 MB sizes lose ~16-28% of aggregate bandwidth scaling from
+  16:1 to 32:1 writers per OST;
+* the cache-friendly 1 MB size never declines.
+"""
+
+import pytest
+
+from repro.harness.figures import fig1
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_internal_interference(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig1.run(scale, base_seed=0), rounds=1, iterations=1
+    )
+    save_result("fig1_internal", result.render())
+
+    large_sizes = [s for s in result.sizes_mb if s >= 128]
+    for size in large_sizes:
+        assert result.per_writer_monotone_decline(size), (
+            f"per-writer bandwidth must fall with writer count "
+            f"({size} MB)"
+        )
+        assert result.aggregate_eventually_declines(size), (
+            f"aggregate bandwidth must peak then decline ({size} MB)"
+        )
+    if large_sizes and 32 * result.n_osts in {
+        r * result.n_osts for r in result.ratios
+    } and 16 in result.ratios and 32 in result.ratios:
+        size = large_sizes[0]
+        agg16 = result.aggregate_stats(size, 16 * result.n_osts).mean
+        agg32 = result.aggregate_stats(size, 32 * result.n_osts).mean
+        drop = 1 - agg32 / agg16
+        assert 0.10 <= drop <= 0.40, (
+            f"16:1 -> 32:1 aggregate drop {drop:.0%} out of the "
+            f"paper's 16-28% neighbourhood"
+        )
+    # The 1 MB cache-friendly case must not collapse.
+    if 1 in result.sizes_mb:
+        ratios = result.ratios
+        first = result.aggregate_stats(1, ratios[0] * result.n_osts).mean
+        last = result.aggregate_stats(1, ratios[-1] * result.n_osts).mean
+        assert last >= first, "1 MB writers must keep scaling (caches)"

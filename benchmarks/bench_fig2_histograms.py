@@ -1,0 +1,32 @@
+"""Regenerates Fig. 2 — bandwidth histograms of the Table I data.
+
+Shape target: the production systems' histograms (and XTP with a
+second job) are wide spreads; XTP without interference is a tight
+spike around its mean.
+"""
+
+import pytest
+
+from repro.harness.figures import fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_bandwidth_histograms(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig2.run(scale, base_seed=0), rounds=1, iterations=1
+    )
+    save_result("fig2_histograms", result.render())
+
+    if scale.value != "smoke":
+        tight = result.relative_spread("xtp_without_int")
+        assert tight < result.relative_spread("jaguar"), (
+            "lone-XTP histogram must be tighter than Jaguar's"
+        )
+        assert tight < result.relative_spread("xtp_with_int"), (
+            "the co-running job must widen XTP's histogram"
+        )
+        assert tight < 0.25, "lone XTP must be a tight spike"
+        # Production spreads are genuinely wide, not single-bin.
+        jag = result.histograms["jaguar"]
+        assert (jag.counts > 0).sum() >= 3
+        assert result.relative_spread("jaguar") > 0.5

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one paper artifact (table/figure) or ablation.
+Scale comes from REPRO_SCALE ("smoke" | "small" | "paper"); the
+default "small" keeps full experimental shape on a 1/8-size machine so
+the whole suite runs in minutes.  Rendered tables are written to
+``benchmarks/results/*.txt`` (and echoed to stdout) so the artifacts
+survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.experiment import Scale, scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return scale_from_env(Scale.SMALL)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

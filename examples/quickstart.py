@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: adaptive IO vs the tuned MPI-IO baseline, in 30 lines.
+
+Builds a scaled-down Jaguar (84 storage targets, stripe cap 20 — the
+same 672/160 proportions as the real machine), runs one XGC1 output
+step through both ADIOS transports under identical ambient noise, and
+prints the comparison.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.apps import xgc1
+from repro.core import Adios
+from repro.interference import install_production_noise
+from repro.machines import jaguar
+from repro.units import fmt_rate
+
+N_RANKS = 512
+SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+
+
+def run_once(method: str) -> None:
+    spec = jaguar(n_osts=84).with_overrides(max_stripe_count=20)
+    machine = spec.build(n_ranks=N_RANKS, seed=SEED)
+    install_production_noise(machine, live=True)
+    io = Adios(machine, method=method)
+    result = io.write_output(xgc1(), name="restart.00000")
+    print(
+        f"{method:>8}: {fmt_rate(result.aggregate_bandwidth):>12}  "
+        f"write+flush+close = {result.reported_time:6.2f} s  "
+        f"imbalance = {result.imbalance_factor:5.2f}  "
+        f"files = {len(result.files)}"
+        + (
+            f"  (adaptive rewrites steered: {result.n_adaptive_writes})"
+            if method == "adaptive"
+            else ""
+        )
+    )
+
+
+def main() -> None:
+    print(
+        f"XGC1 output step: {N_RANKS} processes x 38 MB "
+        f"on a 1/8-scale Jaguar (seed {SEED})\n"
+    )
+    for method in ("mpiio", "adaptive"):
+        run_once(method)
+    print(
+        "\nAdaptive IO writes one sub-file per storage target, one "
+        "writer at a time per target,\nand steers waiting writers from "
+        "slow targets to fast ones (Lofstead et al., SC'10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A production-style campaign: XGC1 writing restart output every 30
+simulated minutes on a shared, noisy file system.
+
+The paper's motivation in one picture: applications budget ~5% of
+wall-clock for IO, so what hurts is not the *average* write time but
+the *variance* — one slow output step blows the budget.  This example
+runs 8 output steps through both transports on the same evolving
+system and compares means and spreads.
+
+Run:  python examples/xgc1_campaign.py
+"""
+
+import numpy as np
+
+from repro.apps import xgc1
+from repro.core import Adios
+from repro.interference import install_production_noise
+from repro.machines import jaguar
+
+N_RANKS = 384
+N_OSTS = 48
+N_STEPS = 8
+COMPUTE_INTERVAL = 1800.0  # 30 minutes between outputs
+
+
+def campaign(method: str, seed: int) -> np.ndarray:
+    spec = jaguar(n_osts=N_OSTS).with_overrides(max_stripe_count=12)
+    machine = spec.build(n_ranks=N_RANKS, seed=seed)
+    install_production_noise(machine, live=True)
+    io = Adios(machine, method=method)
+    times = []
+    for step in range(N_STEPS):
+        res = io.write_output(xgc1(), name=f"xgc1.{step:05d}")
+        times.append(res.reported_time)
+
+        def compute(env):
+            yield env.timeout(COMPUTE_INTERVAL)
+
+        machine.env.run(until=machine.env.process(compute(machine.env)))
+    return np.array(times)
+
+
+def main() -> None:
+    print(
+        f"XGC1 campaign: {N_STEPS} restart dumps, {N_RANKS} procs x "
+        f"38 MB, every 30 simulated minutes\n"
+    )
+    for method in ("mpiio", "adaptive"):
+        times = campaign(method, seed=11)
+        steps = "  ".join(f"{t:6.1f}" for t in times)
+        print(f"{method:>8} write times (s): {steps}")
+        print(
+            f"{'':>8} mean {times.mean():6.1f} s   std {times.std():5.1f} "
+            f"s   worst {times.max():6.1f} s\n"
+        )
+    print(
+        "Lower variance means a predictable IO budget — the paper's "
+        "Fig. 7 claim,\nvisible here as a tighter spread for the "
+        "adaptive transport."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim (the offline environment lacks the wheel package,
+so pip needs the setup.py editable-install path)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,23 @@
+"""Application IO kernels: the workloads the paper measures.
+
+Only the *output shape* of each code matters to the IO layer — which
+variables of which sizes each process emits per output step — so each
+kernel is a data model, not a solver:
+
+* :func:`~repro.apps.pixie3d.pixie3d` — 8 double-precision 3D arrays;
+  "small" 32-cubes (2 MB/process), "large" 128-cubes (128 MB/process),
+  "extra large" 256-cubes (1 GB/process), weak scaling.
+* :func:`~repro.apps.xgc1.xgc1` — gyrokinetic PIC edge-plasma code,
+  38 MB/process production configuration.
+* :func:`~repro.apps.gtc.gtc` / :func:`~repro.apps.s3d.s3d` —
+  companion fusion/combustion kernels used for context in the paper's
+  discussion of typical sizes.
+"""
+
+from repro.apps.base import AppKernel, Variable
+from repro.apps.pixie3d import pixie3d
+from repro.apps.xgc1 import xgc1
+from repro.apps.gtc import gtc
+from repro.apps.s3d import s3d
+
+__all__ = ["AppKernel", "Variable", "gtc", "pixie3d", "s3d", "xgc1"]

@@ -1,0 +1,147 @@
+"""Application data models: variables, sizes, index generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.index import Characteristics, IndexEntry
+
+__all__ = ["Variable", "AppKernel"]
+
+_DTYPE_BYTES = {
+    "f8": 8,
+    "f4": 4,
+    "i8": 8,
+    "i4": 4,
+}
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One output variable as seen per process.
+
+    Parameters
+    ----------
+    name:
+        Variable name in the output set.
+    shape:
+        Per-process block shape.
+    dtype:
+        Element type code ("f8", "f4", "i8", "i4").
+    value_range:
+        Physical range the synthetic characteristics are drawn from.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "f8"
+    value_range: Tuple[float, float] = (-1.0, 1.0)
+
+    def __post_init__(self):
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+        if any(d < 1 for d in self.shape):
+            raise ValueError("shape dims must be >= 1")
+        lo, hi = self.value_range
+        if lo > hi:
+            raise ValueError("value_range must be (low, high)")
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> float:
+        return float(self.count * _DTYPE_BYTES[self.dtype])
+
+
+class AppKernel:
+    """An application's per-process output model.
+
+    Every process emits the same variable set (weak scaling), so the
+    kernel is shared across ranks; per-rank synthetic characteristics
+    are derived deterministically from (app, rank, var).
+    """
+
+    def __init__(self, name: str, variables: List[Variable]):
+        if not variables:
+            raise ValueError("an app kernel needs at least one variable")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate variable names")
+        self.name = name
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+
+    @property
+    def per_process_bytes(self) -> float:
+        return float(sum(v.nbytes for v in self.variables))
+
+    def total_bytes(self, n_ranks: int) -> float:
+        return self.per_process_bytes * n_ranks
+
+    def _var_rng(self, rank: int, var: Variable) -> np.random.Generator:
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"{self.name}:{rank}:{var.name}".encode()
+        ).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def characteristics_of(self, rank: int, var: Variable) -> Characteristics:
+        """Deterministic synthetic min/max for one rank's block."""
+        rng = self._var_rng(rank, var)
+        lo, hi = var.value_range
+        a, b = np.sort(rng.uniform(lo, hi, size=2))
+        return Characteristics(float(a), float(b), var.count)
+
+    def index_entries(
+        self,
+        rank: int,
+        base_offset: float,
+        with_characteristics: bool = True,
+    ) -> List[IndexEntry]:
+        """The local index of one rank's output at ``base_offset``.
+
+        Variables are laid out back-to-back in declaration order, the
+        ADIOS process-group layout.
+        """
+        entries: List[IndexEntry] = []
+        offset = base_offset
+        for var in self.variables:
+            chars = (
+                self.characteristics_of(rank, var)
+                if with_characteristics
+                else None
+            )
+            entries.append(
+                IndexEntry(
+                    var=var.name,
+                    writer=rank,
+                    offset=offset,
+                    nbytes=var.nbytes,
+                    characteristics=chars,
+                )
+            )
+            offset += var.nbytes
+        return entries
+
+    def sample_block(self, rank: int, var_name: str, n: int = 64) -> np.ndarray:
+        """A small representative data block (tests / examples only)."""
+        var = next((v for v in self.variables if v.name == var_name), None)
+        if var is None:
+            raise KeyError(f"{self.name} has no variable {var_name!r}")
+        rng = self._var_rng(rank, var)
+        lo, hi = var.value_range
+        return rng.uniform(lo, hi, size=min(n, var.count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AppKernel({self.name!r}, {len(self.variables)} vars, "
+            f"{self.per_process_bytes / 1e6:.1f} MB/process)"
+        )

@@ -1,0 +1,53 @@
+"""Pixie3D (Chacón): 3D implicit extended-MHD IO kernel.
+
+"The output data of Pixie3D consists of eight double-precision, 3D
+arrays.  The small run uses 32-cubes, large uses 128-cubes, while
+extra large uses 256-cubes ... the small run generates 2 MB/process,
+large generates 128 MB/process, and extra large generates
+1 GB/process.  Weak scaling is employed."
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppKernel, Variable
+
+__all__ = ["pixie3d", "PIXIE3D_MODELS"]
+
+# The eight extended-MHD state arrays: density, momentum (3), magnetic
+# field (3), temperature.
+_VAR_NAMES_RANGES = [
+    ("rho", (0.1, 10.0)),
+    ("px", (-5.0, 5.0)),
+    ("py", (-5.0, 5.0)),
+    ("pz", (-5.0, 5.0)),
+    ("bx", (-2.0, 2.0)),
+    ("by", (-2.0, 2.0)),
+    ("bz", (-2.0, 2.0)),
+    ("temp", (0.0, 100.0)),
+]
+
+PIXIE3D_MODELS = {
+    "small": 32,
+    "large": 128,
+    "xl": 256,
+}
+
+
+def pixie3d(model: str = "large") -> AppKernel:
+    """The Pixie3D IO kernel at one of the paper's three sizes.
+
+    ``model`` is "small" (2 MB/process), "large" (128 MB/process) or
+    "xl" (1 GB/process).
+    """
+    try:
+        cube = PIXIE3D_MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown Pixie3D model {model!r}; choose from "
+            f"{sorted(PIXIE3D_MODELS)}"
+        ) from None
+    variables = [
+        Variable(name, shape=(cube, cube, cube), dtype="f8", value_range=rng)
+        for name, rng in _VAR_NAMES_RANGES
+    ]
+    return AppKernel(f"pixie3d.{model}", variables)

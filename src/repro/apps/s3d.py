@@ -1,0 +1,35 @@
+"""S3D (turbulent combustion DNS) IO kernel.
+
+The paper uses S3D as a size yardstick: the Pixie3D small model is
+"maybe 10% of a typical data size for an application like the S3D
+combustion simulation", and 38 MB/process matches "larger S3D runs".
+Default here: ~20 MB/process (a mid-sized run).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppKernel, Variable
+
+__all__ = ["s3d"]
+
+
+def s3d(grid: int = 64, n_species: int = 8) -> AppKernel:
+    """An S3D restart kernel: velocity, thermodynamic state, species.
+
+    Per-process bytes = (3 + 2 + n_species) * grid^3 * 8.
+    The default (64^3, 8 species) gives ~27 MB/process.
+    """
+    if grid < 1 or n_species < 1:
+        raise ValueError("grid and n_species must be >= 1")
+    shape = (grid, grid, grid)
+    variables = [
+        Variable("u", shape, value_range=(-100.0, 100.0)),
+        Variable("v", shape, value_range=(-100.0, 100.0)),
+        Variable("w", shape, value_range=(-100.0, 100.0)),
+        Variable("temp", shape, value_range=(300.0, 2500.0)),
+        Variable("pressure", shape, value_range=(0.5, 50.0)),
+    ] + [
+        Variable(f"Y_{i}", shape, value_range=(0.0, 1.0))
+        for i in range(n_species)
+    ]
+    return AppKernel(f"s3d.{grid}", variables)

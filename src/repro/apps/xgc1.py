@@ -1,0 +1,35 @@
+"""XGC1 (Chang & Ku): gyrokinetic particle-in-cell edge-plasma kernel.
+
+"These tests are performed using a configuration that generates 38 MB
+per process and weak scaling is used."  The variable split below is a
+representative PIC restart: the particle phase-space array dominates,
+with particle weights and a small field mesh alongside — summing to
+exactly 38 MB (decimal) per process.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppKernel, Variable
+
+__all__ = ["xgc1"]
+
+
+def xgc1() -> AppKernel:
+    """The paper's 38 MB/process XGC1 production configuration."""
+    # 8 phase-space components x 520 000 ions x 8 B = 33.28 MB
+    # 1 weight             x 520 000 ions x 8 B =  4.16 MB
+    # potential mesh            70 000 nodes x 8 B =  0.56 MB
+    #                                        total = 38.00 MB
+    variables = [
+        Variable(
+            "iphase", shape=(520_000, 8), dtype="f8",
+            value_range=(-3.14159, 3.14159),
+        ),
+        Variable(
+            "iweight", shape=(520_000,), dtype="f8", value_range=(0.0, 2.0)
+        ),
+        Variable(
+            "pot", shape=(70_000,), dtype="f8", value_range=(-500.0, 500.0)
+        ),
+    ]
+    return AppKernel("xgc1", variables)

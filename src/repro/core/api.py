@@ -1,0 +1,60 @@
+"""Functional convenience API over the middleware.
+
+For scripts that want one call:
+
+>>> from repro.core.api import write_output
+>>> from repro.machines import jaguar
+>>> from repro.apps import xgc1
+>>> res = write_output(jaguar(n_osts=8), xgc1(), n_ranks=16,
+...                    method="adaptive", seed=1)
+>>> res.transport
+'adaptive'
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.middleware import Adios
+from repro.core.transports.base import OutputResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine, MachineSpec
+
+__all__ = ["write_output"]
+
+
+def write_output(
+    machine_or_spec,
+    app: "AppKernel",
+    n_ranks: Optional[int] = None,
+    method: str = "mpiio",
+    seed: int = 0,
+    output_name: Optional[str] = None,
+    **method_options,
+) -> OutputResult:
+    """Build (if needed), run one output operation, return the result.
+
+    Accepts either a live :class:`~repro.machines.base.Machine` or a
+    :class:`~repro.machines.base.MachineSpec` plus ``n_ranks``.
+    """
+    from repro.machines.base import Machine, MachineSpec
+
+    if isinstance(machine_or_spec, MachineSpec):
+        if n_ranks is None:
+            raise ValueError("n_ranks is required when passing a spec")
+        machine: Machine = machine_or_spec.build(n_ranks=n_ranks, seed=seed)
+    elif isinstance(machine_or_spec, Machine):
+        machine = machine_or_spec
+        if n_ranks is not None and n_ranks != machine.n_ranks:
+            raise ValueError(
+                f"machine has {machine.n_ranks} ranks, asked for {n_ranks}"
+            )
+    else:
+        raise TypeError(
+            f"expected Machine or MachineSpec, got "
+            f"{type(machine_or_spec).__name__}"
+        )
+    io = Adios(machine, method=method, **method_options)
+    return io.write_output(app, name=output_name)

@@ -1,0 +1,126 @@
+"""BP-style read path: global-index-driven reads of written output.
+
+The paper (Section IV-C): "By using the global index, access to any
+data can be performed using a single lookup into the index and then a
+direct read of the value(s) from the appropriate data file(s)".  This
+module implements that reader over the simulated file system, plus an
+index *search* fallback for output sets whose global index was never
+written ("we use a automatic, systematic search of the index in each
+file") — the interim mode the paper describes, which the ablation
+benches use to quantify what the global index buys.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+
+from repro.core.index import GlobalIndex, IndexEntry
+from repro.errors import FileSystemError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lustre.filesystem import FileSystem
+
+__all__ = ["BpReader"]
+
+
+class BpReader:
+    """Reads variable blocks back through the simulated file system.
+
+    Parameters
+    ----------
+    fs:
+        The file system holding the output set.
+    index:
+        The global index (from ``OutputResult.index``); optional —
+        without it every lookup degrades to a per-file index scan.
+    """
+
+    def __init__(self, fs: "FileSystem", index: Optional[GlobalIndex] = None,
+                 files: Optional[List[str]] = None):
+        if index is None and not files:
+            raise ValueError("need a global index or an explicit file list")
+        self.fs = fs
+        self.index = index
+        self.files = files if files is not None else (
+            index.files if index is not None else []
+        )
+
+    # -- lookup ------------------------------------------------------------
+    def locate(
+        self, var: str, writer: Optional[int] = None
+    ) -> List[Tuple[str, IndexEntry]]:
+        """(file, entry) for every block of *var* — one index lookup."""
+        if self.index is not None:
+            hits = self.index.lookup(var, writer=writer)
+        else:
+            hits = self._scan_files(var, writer)
+        if not hits:
+            raise KeyError(
+                f"variable {var!r}"
+                + (f" of writer {writer}" if writer is not None else "")
+                + " not found"
+            )
+        return hits
+
+    def _scan_files(
+        self, var: str, writer: Optional[int]
+    ) -> List[Tuple[str, IndexEntry]]:
+        """The interim no-global-index mode: scan each file's local index."""
+        hits: List[Tuple[str, IndexEntry]] = []
+        for path in self.files:
+            f = self.fs.lookup(path)
+            for payload in f.payloads.values():
+                if (
+                    isinstance(payload, tuple)
+                    and payload
+                    and payload[0] == "local_index"
+                ):
+                    for e in payload[1]:
+                        if e.var == var and (
+                            writer is None or e.writer == writer
+                        ):
+                            hits.append((path, e))
+        return hits
+
+    # -- data path -----------------------------------------------------------
+    def read_block(
+        self, node: int, var: str, writer: int
+    ) -> Generator:
+        """Simulate reading one writer's block; returns (entry, seconds)."""
+        hits = self.locate(var, writer=writer)
+        if len(hits) > 1:
+            raise FileSystemError(
+                f"{var!r} of writer {writer} has {len(hits)} blocks; "
+                "corrupt index"
+            )
+        path, entry = hits[0]
+        f = self.fs.lookup(path)
+        seconds = yield from self.fs.read(
+            f, node=node, offset=entry.offset, nbytes=entry.nbytes
+        )
+        return entry, seconds
+
+    def read_variable(self, node: int, var: str) -> Generator:
+        """Simulate a restart-style read of every block of *var*.
+
+        Returns (total_bytes, seconds).
+        """
+        hits = self.locate(var)
+        start_bytes = 0.0
+        t = 0.0
+        for path, entry in hits:
+            f = self.fs.lookup(path)
+            seconds = yield from self.fs.read(
+                f, node=node, offset=entry.offset, nbytes=entry.nbytes
+            )
+            t += seconds
+            start_bytes += entry.nbytes
+        return start_bytes, t
+
+    def query_value_range(
+        self, var: str, low: float, high: float
+    ) -> List[Tuple[str, IndexEntry]]:
+        """Characteristic-pruned block list (no data read needed)."""
+        if self.index is None:
+            raise FileSystemError("value-range queries need a global index")
+        return self.index.query_value_range(var, low, high)

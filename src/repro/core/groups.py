@@ -1,0 +1,78 @@
+"""Writer-to-group assignment for the adaptive transport.
+
+"Since process IDs are typically assigned sequentially to cores in a
+node, grouping them as illustrated reduces the network contention on
+the node due to simultaneous writing from the same node, but different
+cores" — so the default maps *contiguous rank blocks* to groups, and
+each group's first rank carries the sub-coordinator role (and rank 0
+additionally the coordinator role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["GroupMap"]
+
+
+@dataclass(frozen=True)
+class GroupMap:
+    """Partition of ``n_ranks`` writers into ``n_groups`` groups.
+
+    Groups are contiguous rank blocks of near-equal size (the first
+    ``n_ranks % n_groups`` groups get one extra rank).  More groups
+    than ranks is legal in principle but useless — it is rejected so a
+    misconfigured experiment fails loudly.
+    """
+
+    n_ranks: int
+    n_groups: int
+
+    def __post_init__(self):
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if self.n_groups > self.n_ranks:
+            raise ValueError(
+                f"n_groups {self.n_groups} > n_ranks {self.n_ranks}: "
+                "every group needs at least one writer"
+            )
+
+    def _bounds(self) -> np.ndarray:
+        base, extra = divmod(self.n_ranks, self.n_groups)
+        sizes = np.full(self.n_groups, base, dtype=np.int64)
+        sizes[:extra] += 1
+        return np.concatenate([[0], np.cumsum(sizes)])
+
+    def group_of(self, rank: int) -> int:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        bounds = self._bounds()
+        return int(np.searchsorted(bounds, rank, side="right") - 1)
+
+    def ranks_in(self, group: int) -> List[int]:
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range")
+        bounds = self._bounds()
+        return list(range(int(bounds[group]), int(bounds[group + 1])))
+
+    def sub_coordinator_of(self, group: int) -> int:
+        """The SC rank: the group's first writer."""
+        return self.ranks_in(group)[0]
+
+    @property
+    def coordinator(self) -> int:
+        """The coordinator rank (rank 0, also SC of group 0)."""
+        return 0
+
+    def group_size(self, group: int) -> int:
+        return len(self.ranks_in(group))
+
+    @property
+    def max_group_size(self) -> int:
+        base, extra = divmod(self.n_ranks, self.n_groups)
+        return base + (1 if extra else 0)

@@ -1,0 +1,198 @@
+"""BP-style indexing: characteristics, local and global indices.
+
+The ADIOS BP format writes each process group's data followed by a
+per-file local index; a master ("global") index maps every variable
+block to (file, offset).  The paper additionally stores *data
+characteristics* — per-block min/max — which let queries prune without
+reading data ("enabling quickly searching for both the content as well
+as the logical location of the data of interest").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Characteristics", "IndexEntry", "LocalIndex", "GlobalIndex"]
+
+_ENTRY_HEADER_BYTES = 64.0  # serialized per-entry overhead
+_CHAR_BYTES = 24.0  # serialized characteristics block
+
+
+@dataclass(frozen=True)
+class Characteristics:
+    """Per-block data characteristics (min/max/count)."""
+
+    minimum: float
+    maximum: float
+    count: int
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if self.count > 0 and self.minimum > self.maximum:
+            raise ValueError("minimum must be <= maximum")
+
+    @classmethod
+    def of(cls, data: np.ndarray) -> "Characteristics":
+        """Characteristics of an actual array."""
+        arr = np.asarray(data)
+        if arr.size == 0:
+            return cls(0.0, 0.0, 0)
+        return cls(float(arr.min()), float(arr.max()), int(arr.size))
+
+    def merge(self, other: "Characteristics") -> "Characteristics":
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        return Characteristics(
+            min(self.minimum, other.minimum),
+            max(self.maximum, other.maximum),
+            self.count + other.count,
+        )
+
+    def overlaps(self, low: float, high: float) -> bool:
+        """Could a value in [low, high] live in this block?"""
+        if self.count == 0:
+            return False
+        return not (high < self.minimum or low > self.maximum)
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One variable block: who wrote which variable where."""
+
+    var: str
+    writer: int
+    offset: float
+    nbytes: float
+    characteristics: Optional[Characteristics] = None
+
+    def __post_init__(self):
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError("offset and nbytes must be non-negative")
+
+    @property
+    def serialized_bytes(self) -> float:
+        extra = _CHAR_BYTES if self.characteristics is not None else 0.0
+        return _ENTRY_HEADER_BYTES + len(self.var) + extra
+
+
+class LocalIndex:
+    """The per-sub-file index a sub-coordinator assembles.
+
+    Entries arrive out of order (adaptive writers interleave with the
+    group's own); :meth:`finalize` sorts and seals, mirroring the SC's
+    "sort and merge the index pieces" step.
+    """
+
+    def __init__(self, file_path: str):
+        self.file_path = file_path
+        self._entries: List[IndexEntry] = []
+        self._final = False
+
+    def add(self, entries: Iterable[IndexEntry]) -> None:
+        if self._final:
+            raise RuntimeError("index already finalized")
+        self._entries.extend(entries)
+
+    def finalize(self) -> Tuple[IndexEntry, ...]:
+        self._final = True
+        self._entries.sort(key=lambda e: (e.offset, e.var))
+        return tuple(self._entries)
+
+    @property
+    def entries(self) -> Tuple[IndexEntry, ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def serialized_bytes(self) -> float:
+        return float(
+            sum(e.serialized_bytes for e in self._entries) + 128.0
+        )
+
+    def check_no_overlap(self) -> None:
+        """Invariant: data extents within one sub-file never overlap."""
+        spans = sorted((e.offset, e.offset + e.nbytes) for e in self._entries)
+        for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+            if b0 < a1 - 1e-6:
+                raise ValueError(
+                    f"{self.file_path}: overlapping extents "
+                    f"[{a0},{a1}) and starting at {b0}"
+                )
+
+
+class GlobalIndex:
+    """The master index the coordinator writes at the end of output.
+
+    Maps ``var -> [(file, IndexEntry), ...]`` so any block is a single
+    lookup + direct read, "sometimes resulting in improved
+    performance" vs single-file formats (paper, Section IV-C).
+    """
+
+    def __init__(self):
+        self._by_var: Dict[str, List[Tuple[str, IndexEntry]]] = {}
+        self._files: List[str] = []
+
+    def add_file(self, file_path: str, entries: Sequence[IndexEntry]) -> None:
+        if file_path in self._files:
+            raise ValueError(f"duplicate file {file_path!r} in global index")
+        self._files.append(file_path)
+        for e in entries:
+            self._by_var.setdefault(e.var, []).append((file_path, e))
+
+    @property
+    def files(self) -> List[str]:
+        return list(self._files)
+
+    @property
+    def variables(self) -> List[str]:
+        return sorted(self._by_var)
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(len(v) for v in self._by_var.values())
+
+    def lookup(
+        self, var: str, writer: Optional[int] = None
+    ) -> List[Tuple[str, IndexEntry]]:
+        """All blocks of *var* (optionally one writer's)."""
+        hits = self._by_var.get(var, [])
+        if writer is None:
+            return list(hits)
+        return [(f, e) for f, e in hits if e.writer == writer]
+
+    def query_value_range(
+        self, var: str, low: float, high: float
+    ) -> List[Tuple[str, IndexEntry]]:
+        """Blocks of *var* whose characteristics overlap [low, high].
+
+        Blocks without characteristics are conservatively returned.
+        """
+        out = []
+        for f, e in self._by_var.get(var, []):
+            if e.characteristics is None or e.characteristics.overlaps(low, high):
+                out.append((f, e))
+        return out
+
+    def total_bytes(self, var: Optional[str] = None) -> float:
+        if var is not None:
+            return sum(e.nbytes for _, e in self._by_var.get(var, []))
+        return sum(
+            e.nbytes for hits in self._by_var.values() for _, e in hits
+        )
+
+    @property
+    def serialized_bytes(self) -> float:
+        per_entry = sum(
+            e.serialized_bytes + 32.0
+            for hits in self._by_var.values()
+            for _, e in hits
+        )
+        return float(per_entry + 256.0)

@@ -1,0 +1,116 @@
+"""Protocol messages and tags of the adaptive-IO method.
+
+One dataclass per message named in Algorithms 1-3 of the paper, plus
+the writer-facing write signal.  Tags segregate the three logical
+endpoints living on coordinator/sub-coordinator ranks (a rank can be
+writer, SC and C at once — roles are processes sharing the rank's
+inbox, distinguished by tag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TAG_WRITER",
+    "TAG_SC",
+    "TAG_COORD",
+    "WriteStart",
+    "WriteComplete",
+    "IndexBody",
+    "AdaptiveWriteStart",
+    "WritersBusy",
+    "OverallWriteComplete",
+    "ScComplete",
+    "ScIndex",
+]
+
+TAG_WRITER = 10  # messages addressed to a rank's writer role
+TAG_SC = 11  # messages addressed to a rank's sub-coordinator role
+TAG_COORD = 12  # messages addressed to the coordinator role
+
+
+@dataclass(frozen=True)
+class WriteStart:
+    """SC -> writer: '(target, offset)' — go write your buffer.
+
+    ``target_group`` identifies the sub-file/OST; ``offset`` is the
+    byte position in it.  ``adaptive`` marks steered (foreign-target)
+    writes for bookkeeping.
+    """
+
+    target_group: int
+    offset: float
+    adaptive: bool = False
+
+
+@dataclass(frozen=True)
+class WriteComplete:
+    """writer -> SC (and SC -> C): a write against ``target_group`` done.
+
+    ``source_rank``/``source_group`` identify the writer;
+    ``nbytes`` lets the coordinator advance the target file's offset
+    cursor for the next adaptive write; ``index_nbytes`` pre-announces
+    the index body so the target SC can count missing indices.
+    """
+
+    source_rank: int
+    source_group: int
+    target_group: int
+    nbytes: float
+    index_nbytes: float
+    adaptive: bool = False
+
+
+@dataclass(frozen=True)
+class IndexBody:
+    """writer -> target SC: the local index for a completed write."""
+
+    source_rank: int
+    target_group: int
+    entries: tuple  # tuple of IndexEntry
+
+
+@dataclass(frozen=True)
+class AdaptiveWriteStart:
+    """C -> SC: schedule one of your waiting writers onto ``target_group``."""
+
+    target_group: int
+    offset: float
+
+
+@dataclass(frozen=True)
+class WritersBusy:
+    """SC -> C: all my writers are already scheduled; cannot help."""
+
+    source_group: int
+    target_group: int  # the adaptive target we had to decline
+    offset: float  # echo so C can re-offer the same slot elsewhere
+
+
+@dataclass(frozen=True)
+class OverallWriteComplete:
+    """C -> all SCs: every byte is on its way; finalize indices."""
+
+
+@dataclass(frozen=True)
+class ScComplete:
+    """SC -> C: all writers of my group have completed their writes.
+
+    ``final_offset`` is my sub-file's data tail — the coordinator notes
+    it and hands out adaptive offsets from there.
+    """
+
+    source_group: int
+    final_offset: float
+
+
+@dataclass(frozen=True)
+class ScIndex:
+    """SC -> C: my merged local index (sent after OVERALL completes)."""
+
+    source_group: int
+    file_path: str
+    entries: tuple
+    index_nbytes: float

@@ -1,0 +1,25 @@
+"""IO transports: POSIX, MPI-IO baseline, Adaptive IO, Stagger."""
+
+from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.core.transports.posix import PosixTransport
+from repro.core.transports.mpiio import MpiIoTransport
+from repro.core.transports.adaptive import AdaptiveTransport
+from repro.core.transports.stagger import StaggerTransport
+from repro.core.transports.splitfiles import SplitFilesTransport
+from repro.core.transports.history import (
+    HistoryAwareAdaptiveTransport,
+    PerformanceHistory,
+)
+
+__all__ = [
+    "AdaptiveTransport",
+    "HistoryAwareAdaptiveTransport",
+    "MpiIoTransport",
+    "OutputResult",
+    "PerformanceHistory",
+    "PosixTransport",
+    "SplitFilesTransport",
+    "StaggerTransport",
+    "Transport",
+    "WriterTiming",
+]

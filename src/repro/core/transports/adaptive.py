@@ -1,0 +1,469 @@
+"""Adaptive IO — the paper's contribution (Algorithms 1-3).
+
+Writers are partitioned into one group per storage target in use; each
+group's first rank carries the **sub-coordinator** (SC) role and rank
+0 additionally the **coordinator** (C) role.  "The coordinator and
+writers only communicate with the sub coordinators, never directly
+with each other."
+
+* Each SC owns a sub-file pinned to its group's OST and signals its
+  writers **one at a time** — one active stream per storage target,
+  eliminating internal interference by construction.
+* As SCs finish, C learns which targets are free (and their final
+  offsets) and *steers* waiting writers from still-busy groups onto
+  them — ADAPTIVE_WRITE_START / WRITERS_BUSY — spreading requests
+  round-robin over the writing SCs so no single group drains first.
+* Writers ship their local index to the *target* SC after the data
+  ("this additional metadata transfer can take place concurrently
+  with another process writing to storage"); SCs sort/merge and write
+  their file's index, then send it to C, which merges and writes the
+  global index.
+
+The mechanism "scales according to the number of storage targets
+rather than the number of writers": C exchanges messages only with
+SCs, and at most ``n_groups - 1`` adaptive writes are in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.groups import GroupMap
+from repro.core.index import GlobalIndex, LocalIndex
+from repro.core.messages import (
+    TAG_COORD,
+    TAG_SC,
+    TAG_WRITER,
+    AdaptiveWriteStart,
+    IndexBody,
+    OverallWriteComplete,
+    ScComplete,
+    ScIndex,
+    WriteComplete,
+    WritersBusy,
+    WriteStart,
+)
+from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.errors import ProtocolError
+from repro.mpi.comm import SimComm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine
+
+__all__ = ["AdaptiveTransport"]
+
+_WRITING, _BUSY, _COMPLETE = "writing", "busy", "complete"
+
+
+class AdaptiveTransport(Transport):
+    """The adaptive IO method.
+
+    Parameters
+    ----------
+    n_osts_used:
+        Storage targets (= groups = sub-files).  Defaults to
+        ``min(pool size, n_ranks)``.  The paper's Jaguar evaluation
+        uses 512 "to simplify the discussion of ratios" and reports no
+        penalty at the full 672.
+    steering:
+        When False the coordinator never reassigns work — groups
+        serialize their writers onto their own OST and nothing else
+        (the "serialization without adaptation" ablation).
+    writers_per_target:
+        Simultaneous writers an SC keeps active on its OST (the paper
+        implements 1 and notes 2-3 as a possible generalization).
+    index_build_time:
+        CPU seconds a writer spends building its local index.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        n_osts_used: Optional[int] = None,
+        steering: bool = True,
+        writers_per_target: int = 1,
+        index_build_time: float = 2.0e-4,
+    ):
+        if writers_per_target < 1:
+            raise ValueError("writers_per_target must be >= 1")
+        if index_build_time < 0:
+            raise ValueError("index_build_time must be >= 0")
+        self.n_osts_used = n_osts_used
+        self.steering = steering
+        self.writers_per_target = writers_per_target
+        self.index_build_time = index_build_time
+
+    def _make_group_map(self, n_ranks: int, n_groups: int):
+        """Writer partition; subclasses may weight it (history-aware)."""
+        return GroupMap(n_ranks, n_groups)
+
+    def _steer_target_ok(self, target: int) -> bool:
+        """May the coordinator steer writes onto this freed target?
+
+        Always yes for the vanilla method (the paper's behaviour: a
+        freed target is a fast target, because under uniform quotas
+        slow groups finish last).  The history-aware subclass vetoes
+        targets it believes are slow — with weighted quotas those can
+        free up *early*, and blindly refilling them recreates the very
+        tail the quotas avoided.
+        """
+        return True
+
+    # -- the run ----------------------------------------------------------
+    def run(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        env = machine.env
+        fs = machine.fs
+        n_ranks = machine.n_ranks
+        n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
+        if not 1 <= n_groups <= machine.n_osts:
+            raise ValueError(
+                f"n_osts_used {n_groups} out of range for pool of "
+                f"{machine.n_osts}"
+            )
+        n_groups = min(n_groups, n_ranks)
+        groups = self._make_group_map(n_ranks, n_groups)
+        comm = SimComm(env, n_ranks, latency=machine.spec.latency)
+        nbytes = app.per_process_bytes
+        index_nbytes = float(
+            sum(e.serialized_bytes for e in app.index_entries(0, 0.0))
+        )
+
+        sc_rank = [groups.sub_coordinator_of(g) for g in range(n_groups)]
+        coord = groups.coordinator
+        group_of = [groups.group_of(r) for r in range(n_ranks)]
+        files: Dict[int, object] = {}  # group -> SimFile
+        timings: List[Optional[WriterTiming]] = [None] * n_ranks
+        stats = {"adaptive_writes": 0, "busy_bounces": 0}
+        phase: Dict[str, float] = {}
+        global_index = GlobalIndex()
+        global_index_path = f"/{output_name}.bp.dir/index.bp"
+
+        # ---------------- Writer role (Algorithm 1) -----------------------
+        def writer_proc(rank: int, files_ready):
+            yield files_ready
+            g = group_of[rank]
+            msg = yield comm.recv(rank, tag=TAG_WRITER)  # (target, offset)
+            ws: WriteStart = msg.payload
+            if self.index_build_time:
+                yield env.timeout(self.index_build_time)  # build local index
+            start = env.now
+            yield from fs.write(
+                files[ws.target_group],
+                node=machine.node_of(rank),
+                offset=ws.offset,
+                nbytes=nbytes,
+                writer=rank,
+            )
+            end = env.now
+            timings[rank] = WriterTiming(
+                rank=rank,
+                start=start,
+                end=end,
+                nbytes=nbytes,
+                target_group=ws.target_group,
+                adaptive=ws.adaptive,
+            )
+            wc = WriteComplete(
+                source_rank=rank,
+                source_group=g,
+                target_group=ws.target_group,
+                nbytes=nbytes,
+                index_nbytes=index_nbytes,
+                adaptive=ws.adaptive,
+            )
+            # WRITE_COMPLETE to the triggering SC (always our own);
+            # if we were steered elsewhere, also to the target SC.
+            comm.send(rank, sc_rank[g], wc, tag=TAG_SC)
+            if ws.target_group != g:
+                comm.send(rank, sc_rank[ws.target_group], wc, tag=TAG_SC)
+            # Local index to the *target* SC, concurrent with the next
+            # writer's data.
+            entries = tuple(app.index_entries(rank, ws.offset))
+            comm.send(
+                rank,
+                sc_rank[ws.target_group],
+                IndexBody(rank, ws.target_group, entries),
+                tag=TAG_SC,
+                nbytes=index_nbytes,
+            )
+
+        # ---------------- Sub-coordinator role (Algorithm 2) --------------
+        def sc_proc(g: int, files_ready, all_created):
+            me = sc_rank[g]
+            path = f"/{output_name}.bp.dir/{g:04d}.bp"
+            ost = fs.allocate_osts(1)[0]
+            f = yield from fs.create(path, osts=[ost], stripe_size=1e15)
+            files[g] = f
+            all_created[0] += 1
+            if all_created[0] == n_groups:
+                phase["open_end"] = env.now
+                files_ready.succeed()
+            yield files_ready
+
+            members = groups.ranks_in(g)
+            # Own writer first: the SC "can each focus on management
+            # after completing their writes".
+            waiting = deque(members)
+            cursor = 0.0
+            active_local = 0
+            completions = 0
+            missing_indices = 0
+            done = False
+            local_index = LocalIndex(path)
+
+            def signal_local() -> None:
+                nonlocal cursor, active_local
+                while (
+                    not done
+                    and waiting
+                    and active_local < self.writers_per_target
+                ):
+                    w = waiting.popleft()
+                    comm.send(
+                        me, w, WriteStart(g, cursor), tag=TAG_WRITER
+                    )
+                    cursor += nbytes
+                    active_local += 1
+
+            signal_local()
+            while not done or missing_indices > 0:
+                msg = yield comm.recv(me, tag=TAG_SC)
+                p = msg.payload
+                if isinstance(p, WriteComplete):
+                    if p.target_group == g:
+                        # A write against my OST finished (mine or a
+                        # steered foreign one): its index is inbound.
+                        missing_indices += 1
+                        if p.source_group == g:
+                            active_local -= 1
+                            signal_local()
+                    if p.source_group == g:
+                        completions += 1
+                        if p.adaptive:
+                            comm.send(me, coord, p, tag=TAG_COORD)
+                        if completions == len(members):
+                            comm.send(
+                                me,
+                                coord,
+                                ScComplete(g, cursor),
+                                tag=TAG_COORD,
+                            )
+                elif isinstance(p, IndexBody):
+                    local_index.add(p.entries)
+                    missing_indices -= 1
+                elif isinstance(p, AdaptiveWriteStart):
+                    if not waiting:
+                        stats["busy_bounces"] += 1
+                        comm.send(
+                            me,
+                            coord,
+                            WritersBusy(g, p.target_group, p.offset),
+                            tag=TAG_COORD,
+                        )
+                    else:
+                        # Steal from the tail: the head writer is next
+                        # in line for our own target anyway.
+                        w = waiting.pop()
+                        comm.send(
+                            me,
+                            w,
+                            WriteStart(p.target_group, p.offset,
+                                       adaptive=True),
+                            tag=TAG_WRITER,
+                        )
+                elif isinstance(p, OverallWriteComplete):
+                    done = True
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"SC {g}: unexpected {p!r}")
+
+            # Sort and merge the index pieces, write the file index,
+            # ship it to C.
+            entries = local_index.finalize()
+            local_index.check_no_overlap()
+            yield from fs.write(
+                f,
+                node=machine.node_of(me),
+                offset=f.size,
+                nbytes=local_index.serialized_bytes,
+                writer=me,
+                payload=("local_index", entries),
+            )
+            comm.send(
+                me,
+                coord,
+                ScIndex(g, path, entries, local_index.serialized_bytes),
+                tag=TAG_COORD,
+                nbytes=local_index.serialized_bytes,
+            )
+
+        # ---------------- Coordinator role (Algorithm 3) -------------------
+        def coord_proc(files_ready):
+            yield files_ready
+            state = {g: _WRITING for g in range(n_groups)}
+            cursor: Dict[int, float] = {}
+            in_flight: Dict[int, bool] = {}
+            outstanding = 0
+            rr = [0]  # round-robin cursor over writing SCs
+
+            def next_writing_sc(exclude: int) -> Optional[int]:
+                for step in range(n_groups):
+                    g = (rr[0] + step) % n_groups
+                    if g != exclude and state[g] == _WRITING:
+                        rr[0] = (g + 1) % n_groups
+                        return g
+                return None
+
+            def try_schedule(target: int) -> None:
+                nonlocal outstanding
+                if not self.steering:
+                    return
+                if in_flight.get(target):
+                    return
+                if not self._steer_target_ok(target):
+                    return
+                g = next_writing_sc(exclude=target)
+                if g is None:
+                    return
+                comm.send(
+                    coord,
+                    sc_rank[g],
+                    AdaptiveWriteStart(target, cursor[target]),
+                    tag=TAG_SC,
+                )
+                in_flight[target] = True
+                outstanding += 1
+
+            def finished() -> bool:
+                return (
+                    all(s == _COMPLETE for s in state.values())
+                    and outstanding == 0
+                )
+
+            while not finished():
+                msg = yield comm.recv(coord, tag=TAG_COORD)
+                p = msg.payload
+                if isinstance(p, WriteComplete):
+                    if not p.adaptive:  # pragma: no cover - defensive
+                        raise ProtocolError(
+                            "C received non-adaptive WriteComplete"
+                        )
+                    stats["adaptive_writes"] += 1
+                    outstanding -= 1
+                    in_flight[p.target_group] = False
+                    cursor[p.target_group] += p.nbytes
+                    try_schedule(p.target_group)
+                elif isinstance(p, ScComplete):
+                    state[p.source_group] = _COMPLETE
+                    cursor[p.source_group] = p.final_offset
+                    try_schedule(p.source_group)
+                elif isinstance(p, WritersBusy):
+                    # Guard a protocol race: the offer may have crossed
+                    # the SC's own ScComplete in flight — never
+                    # downgrade a complete SC.
+                    if state[p.source_group] == _WRITING:
+                        state[p.source_group] = _BUSY
+                    outstanding -= 1
+                    in_flight[p.target_group] = False
+                    try_schedule(p.target_group)
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"C: unexpected {p!r}")
+
+            for g in range(n_groups):
+                comm.send(
+                    coord, sc_rank[g], OverallWriteComplete(), tag=TAG_SC
+                )
+            # Gather index pieces, merge into the global index, write
+            # the global index file.
+            for _ in range(n_groups):
+                msg = yield comm.recv(coord, tag=TAG_COORD)
+                p = msg.payload
+                if not isinstance(p, ScIndex):  # pragma: no cover
+                    raise ProtocolError(f"C: expected ScIndex, got {p!r}")
+                global_index.add_file(p.file_path, p.entries)
+            gi_file = yield from fs.create(
+                global_index_path, osts=[fs.allocate_osts(1)[0]]
+            )
+            yield from fs.write(
+                gi_file,
+                node=machine.node_of(coord),
+                offset=0,
+                nbytes=global_index.serialized_bytes,
+                writer=coord,
+                payload=("global_index", global_index),
+            )
+            files[-1] = gi_file
+            phase["write_end"] = env.now
+
+        # ---------------- Orchestration ------------------------------------
+        def main():
+            t0 = env.now
+            files_ready = env.event()
+            all_created = [0]
+            procs = []
+            for g in range(n_groups):
+                procs.append(
+                    env.process(
+                        sc_proc(g, files_ready, all_created),
+                        name=f"adaptive.sc.{g}",
+                    )
+                )
+            for r in range(n_ranks):
+                procs.append(
+                    env.process(
+                        writer_proc(r, files_ready), name=f"adaptive.w.{r}"
+                    )
+                )
+            procs.append(
+                env.process(coord_proc(files_ready), name="adaptive.coord")
+            )
+            yield env.all_of(procs)
+            # Explicit flush of every file before close (paper's
+            # measurement protocol), all in parallel.
+            fstart = env.now
+            flushes = [
+                env.process(fs.flush(f), name="adaptive.flush")
+                for f in files.values()
+            ]
+            yield env.all_of(flushes)
+            phase["flush_end"] = env.now
+            for f in files.values():
+                yield from fs.close(f)
+            phase["close_end"] = env.now
+            phase["flush_start"] = fstart
+            return t0
+
+        done = env.process(main(), name="adaptive.main")
+        env.run(until=done)
+        t0 = done.value
+
+        result = OutputResult(
+            transport=self.name,
+            n_writers=n_ranks,
+            total_bytes=nbytes * n_ranks,
+            open_time=phase["open_end"] - t0,
+            write_time=phase["write_end"] - phase["open_end"],
+            flush_time=phase["flush_end"] - phase["flush_start"],
+            close_time=phase["close_end"] - phase["flush_end"],
+            per_writer=[t for t in timings if t is not None],
+            files=sorted(
+                f"/{output_name}.bp.dir/{g:04d}.bp" for g in range(n_groups)
+            )
+            + [global_index_path],
+            index=global_index,
+            n_adaptive_writes=stats["adaptive_writes"],
+            messages_sent=comm.messages_sent,
+            coordinator_messages=comm.messages_by_rank.get(coord, 0),
+            extra={
+                "n_groups": float(n_groups),
+                "busy_bounces": float(stats["busy_bounces"]),
+            },
+        )
+        return self._finish(machine, result)

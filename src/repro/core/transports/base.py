@@ -1,0 +1,146 @@
+"""Transport contract and the result record every transport produces.
+
+Timing follows the paper's measurement protocol:
+
+* Section II experiments "specifically omit file open and close
+  times" — use :attr:`OutputResult.write_time`.
+* Section IV experiments report "the actual write, flush, and file
+  close operations" with "an explicit flush ... prior to the file
+  close" — use :attr:`OutputResult.reported_time` (write + flush +
+  close, open excluded).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.index import GlobalIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine
+
+__all__ = ["Transport", "OutputResult", "WriterTiming"]
+
+
+@dataclass(frozen=True)
+class WriterTiming:
+    """Per-writer timing of the data write itself."""
+
+    rank: int
+    start: float  # when the writer began moving bytes
+    end: float  # when its last byte was absorbed
+    nbytes: float
+    target_group: int = -1
+    adaptive: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        d = self.duration
+        return self.nbytes / d if d > 0 else float("inf")
+
+
+@dataclass
+class OutputResult:
+    """Everything one output operation produced."""
+
+    transport: str
+    n_writers: int
+    total_bytes: float
+    open_time: float
+    write_time: float
+    flush_time: float
+    close_time: float
+    per_writer: List[WriterTiming] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    index: Optional[GlobalIndex] = None
+    n_adaptive_writes: int = 0
+    messages_sent: int = 0
+    coordinator_messages: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reported_time(self) -> float:
+        """Write + flush + close — the paper's Section IV metric."""
+        return self.write_time + self.flush_time + self.close_time
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Bytes/s over the reported (write+flush+close) window."""
+        t = self.reported_time
+        return self.total_bytes / t if t > 0 else float("inf")
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Bytes/s over the write window only — the Section II metric."""
+        t = self.write_time
+        return self.total_bytes / t if t > 0 else float("inf")
+
+    @property
+    def per_writer_bandwidths(self) -> np.ndarray:
+        return np.array([w.bandwidth for w in self.per_writer])
+
+    @property
+    def per_writer_durations(self) -> np.ndarray:
+        return np.array([w.duration for w in self.per_writer])
+
+    @property
+    def imbalance_factor(self) -> float:
+        """Slowest / fastest per-writer write time (paper, Section II)."""
+        d = self.per_writer_durations
+        if d.size == 0:
+            return float("nan")
+        fastest = float(d.min())
+        if fastest <= 0:
+            return float("inf")
+        return float(d.max()) / fastest
+
+    def validate(self) -> None:
+        """Sanity invariants every transport result must satisfy."""
+        if self.total_bytes < 0:
+            raise ValueError("negative total_bytes")
+        for name in ("open_time", "write_time", "flush_time", "close_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative {name}")
+        if len(self.per_writer) != self.n_writers:
+            raise ValueError(
+                f"{len(self.per_writer)} writer timings for "
+                f"{self.n_writers} writers"
+            )
+        written = sum(w.nbytes for w in self.per_writer)
+        if abs(written - self.total_bytes) > max(1.0, 1e-6 * self.total_bytes):
+            raise ValueError(
+                f"writer bytes {written} != total {self.total_bytes}"
+            )
+
+
+class Transport(abc.ABC):
+    """An IO method: turns an output spec into data on the file system.
+
+    Instances are stateless w.r.t. simulations: :meth:`run` may be
+    called repeatedly against different machines.
+    """
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        """Execute one full output operation; blocks the (real) caller
+        until the simulated operation has completed."""
+
+    def _finish(self, machine: "Machine", result: OutputResult) -> OutputResult:
+        result.validate()
+        return result

@@ -1,0 +1,249 @@
+"""History-aware adaptive IO — the paper's future-work extension.
+
+"Finally, there are likely more complex and/or state-rich methods for
+system adaptation, including those that take into account past usage
+data."  (Section VI.)
+
+This transport keeps a :class:`PerformanceHistory` across output
+steps: an exponentially-weighted estimate of each storage target's
+effective bandwidth, updated from every completed write.  The next
+output step **seeds group sizes with it** — groups are sized
+proportionally to their target's estimated speed, so a persistently
+slow target starts with fewer writers instead of waiting for online
+steering to bail it out write by write.
+
+Against stationary slow targets this converges to a near-balanced
+schedule by the second step; against purely transient noise it
+degrades gracefully to vanilla adaptive behaviour (the history is
+uninformative, the quotas stay near-uniform, and online steering
+still reacts).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.transports.adaptive import AdaptiveTransport
+from repro.core.transports.base import OutputResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine
+
+__all__ = ["PerformanceHistory", "HistoryAwareAdaptiveTransport"]
+
+
+class PerformanceHistory:
+    """EWMA per-target bandwidth estimates across output steps.
+
+    Parameters
+    ----------
+    n_targets:
+        Storage targets tracked.
+    alpha:
+        EWMA weight of the newest observation.
+    prior:
+        Initial estimate (bytes/s) before any observation; any positive
+        value works — only *relative* speeds matter downstream.
+    """
+
+    def __init__(self, n_targets: int, alpha: float = 0.4,
+                 prior: float = 100e6, alpha_up: Optional[float] = None):
+        if n_targets < 1:
+            raise ValueError("n_targets must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if prior <= 0:
+            raise ValueError("prior must be positive")
+        if alpha_up is not None and not 0.0 < alpha_up <= 1.0:
+            raise ValueError("alpha_up must be in (0, 1]")
+        self.alpha = alpha
+        # Asymmetric learning: quick to believe a target got slower,
+        # slow to believe it recovered.  A quota-starved slow target
+        # carries little data and therefore *measures* healthy, and a
+        # symmetric filter would oscillate between avoiding and
+        # flooding it every other step.
+        self.alpha_up = alpha / 4 if alpha_up is None else alpha_up
+        self.estimate = np.full(n_targets, float(prior))
+        self.observations = np.zeros(n_targets, dtype=np.int64)
+
+    def observe(self, target: int, bandwidth: float) -> None:
+        """Fold one completed write's effective bandwidth in."""
+        if bandwidth <= 0:
+            return
+        if self.observations[target] == 0:
+            self.estimate[target] = bandwidth
+        else:
+            delta = bandwidth - self.estimate[target]
+            a = self.alpha if delta < 0 else self.alpha_up
+            self.estimate[target] += a * delta
+        self.observations[target] += 1
+
+    def observe_result(self, result: OutputResult) -> None:
+        """Fold a whole output step's per-writer timings in.
+
+        Per target we fold in the *slowest* writer's bandwidth of the
+        step, not the mean: early writes absorb into cache at full
+        ingest speed no matter how sick the target's disks are, so the
+        straggler (which ran drain-paced) is the honest signal — the
+        same slowest-writer quantity the paper's imbalance factor is
+        built on.
+        """
+        worst: Dict[int, float] = {}
+        for w in result.per_writer:
+            if w.target_group >= 0 and w.bandwidth > 0:
+                prev = worst.get(w.target_group)
+                if prev is None or w.bandwidth < prev:
+                    worst[w.target_group] = w.bandwidth
+        for target, bw in worst.items():
+            self.observe(target, bw)
+
+    def relative_speeds(self, n: Optional[int] = None) -> np.ndarray:
+        """Per-target speed weights normalized to mean 1."""
+        est = self.estimate if n is None else self.estimate[:n]
+        return est / est.mean()
+
+    def slowest_first(self, n: Optional[int] = None) -> List[int]:
+        """Target indices ordered slowest to fastest."""
+        est = self.estimate if n is None else self.estimate[:n]
+        return list(np.argsort(est))
+
+
+class HistoryAwareAdaptiveTransport(AdaptiveTransport):
+    """Adaptive IO seeded and steered by past usage data.
+
+    Drop-in extension of :class:`AdaptiveTransport`; reuse the same
+    instance across output steps so the history accumulates::
+
+        transport = HistoryAwareAdaptiveTransport(n_osts_used=512)
+        for step in range(n_steps):
+            result = transport.run(machine, app, f"out.{step}")
+    """
+
+    name = "adaptive-history"
+
+    def __init__(self, *args, history_alpha: float = 0.4,
+                 max_skew: float = 8.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_skew < 1.0:
+            raise ValueError("max_skew must be >= 1")
+        self.history_alpha = history_alpha
+        self.max_skew = max_skew
+        self.history: Optional[PerformanceHistory] = None
+        self.steps_run = 0
+
+    # -- seeding -----------------------------------------------------------
+    def group_quotas(self, n_ranks: int, n_groups: int) -> List[int]:
+        """Writers initially assigned to each group, history-weighted.
+
+        Quotas are proportional to estimated target speed, clamped to
+        ``max_skew`` around uniform so one bad estimate cannot starve
+        a group, and adjusted to sum exactly to ``n_ranks`` with at
+        least one writer per group (each group's sub-coordinator is a
+        writer).
+        """
+        if self.history is None or self.history.observations.sum() == 0:
+            base, extra = divmod(n_ranks, n_groups)
+            return [base + (1 if g < extra else 0) for g in range(n_groups)]
+        speeds = self.history.relative_speeds(n_groups)
+        lo, hi = 1.0 / self.max_skew, self.max_skew
+        speeds = np.clip(speeds, lo, hi)
+        raw = speeds / speeds.sum() * n_ranks
+        quotas = np.maximum(1, np.floor(raw).astype(int))
+        # Distribute the remainder to the largest fractional parts.
+        deficit = n_ranks - int(quotas.sum())
+        if deficit > 0:
+            order = np.argsort(-(raw - np.floor(raw)))
+            for i in range(deficit):
+                quotas[order[i % n_groups]] += 1
+        while quotas.sum() > n_ranks:
+            donor = int(np.argmax(quotas))
+            if quotas[donor] <= 1:
+                break
+            quotas[donor] -= 1
+        return quotas.tolist()
+
+    def run(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        n_groups = self.n_osts_used or min(machine.n_osts, machine.n_ranks)
+        n_groups = min(n_groups, machine.n_ranks)
+        if self.history is None:
+            self.history = PerformanceHistory(
+                n_groups, alpha=self.history_alpha
+            )
+        elif len(self.history.estimate) != n_groups:
+            raise ValueError(
+                "history tracks a different target count; use one "
+                "transport instance per configuration"
+            )
+        result = super().run(machine, app, output_name=output_name)
+        self.history.observe_result(result)
+        self.steps_run += 1
+        result.extra["history_steps"] = float(self.steps_run)
+        return result
+
+    def _make_group_map(self, n_ranks: int, n_groups: int):
+        """History-weighted partition (uniform until data exists)."""
+        return _WeightedGroupMap(
+            n_ranks, self.group_quotas(n_ranks, n_groups)
+        )
+
+    def _steer_target_ok(self, target: int) -> bool:
+        """Veto steering onto targets the history says are slow.
+
+        A weighted-quota slow target frees up early; refilling it with
+        steered writes would rebuild exactly the straggler tail the
+        quota avoided.  Threshold: below 35% of the median estimated
+        target speed.
+        """
+        if self.history is None or self.history.observations.sum() == 0:
+            return True
+        est = self.history.estimate
+        return bool(est[target] >= 0.35 * float(np.median(est)))
+
+
+class _WeightedGroupMap:
+    """GroupMap-compatible partition with explicit per-group sizes."""
+
+    def __init__(self, n_ranks: int, quotas: List[int]):
+        if sum(quotas) != n_ranks:
+            raise ValueError(
+                f"quotas sum to {sum(quotas)}, expected {n_ranks}"
+            )
+        if any(q < 1 for q in quotas):
+            raise ValueError("every group needs at least one writer")
+        self.n_ranks = n_ranks
+        self.n_groups = len(quotas)
+        self._bounds = np.concatenate([[0], np.cumsum(quotas)])
+
+    def group_of(self, rank: int) -> int:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return int(np.searchsorted(self._bounds, rank, side="right") - 1)
+
+    def ranks_in(self, group: int) -> List[int]:
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range")
+        return list(
+            range(int(self._bounds[group]), int(self._bounds[group + 1]))
+        )
+
+    def sub_coordinator_of(self, group: int) -> int:
+        return self.ranks_in(group)[0]
+
+    @property
+    def coordinator(self) -> int:
+        return 0
+
+    def group_size(self, group: int) -> int:
+        return len(self.ranks_in(group))
+
+    @property
+    def max_group_size(self) -> int:
+        return int(np.diff(self._bounds).max())

@@ -1,0 +1,153 @@
+"""POSIX file-per-process transport — the IOR configuration.
+
+Section II's interference measurements use IOR "configured ... where
+each process writes data to a separate file and to some fixed OST
+using POSIX-IO.  Writers are split evenly across the 512 OSTs."  This
+transport reproduces that pattern: every rank creates its own
+single-stripe file pinned to ``rank % n_osts_used``, then all ranks
+write their buffers concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.index import GlobalIndex
+from repro.core.transports.base import OutputResult, Transport, WriterTiming
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine
+
+__all__ = ["PosixTransport"]
+
+
+class PosixTransport(Transport):
+    """One file per process, one fixed OST per file.
+
+    Parameters
+    ----------
+    n_osts_used:
+        Storage targets the writers are split across (the paper uses
+        512 of Jaguar's 672).  Defaults to the whole pool.
+    include_flush:
+        Whether the operation ends with an explicit flush to disk.
+        Section II timings measure the write only; Section IV adds
+        the flush.
+    build_index:
+        Also assemble a global index over the per-process files (off
+        by default — plain IOR has no index).
+    """
+
+    name = "posix"
+
+    def __init__(
+        self,
+        n_osts_used: Optional[int] = None,
+        include_flush: bool = False,
+        build_index: bool = False,
+    ):
+        self.n_osts_used = n_osts_used
+        self.include_flush = include_flush
+        self.build_index = build_index
+
+    def run(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        env = machine.env
+        fs = machine.fs
+        n_ranks = machine.n_ranks
+        n_osts = self.n_osts_used or machine.n_osts
+        if not 1 <= n_osts <= machine.n_osts:
+            raise ValueError(
+                f"n_osts_used {n_osts} out of range for pool of "
+                f"{machine.n_osts}"
+            )
+        nbytes = app.per_process_bytes
+        timings: List[Optional[WriterTiming]] = [None] * n_ranks
+        files: List[str] = []
+        phase = {}
+
+        created = [0]
+
+        def rank_proc(rank: int, barrier_done):
+            path = f"/{output_name}/rank{rank:06d}.dat"
+            f = yield from fs.create(path, osts=[rank % n_osts])
+            files.append(path)
+            created[0] += 1
+            if created[0] == n_ranks:
+                phase["open_end"] = env.now
+                barrier_done.succeed()
+            # Every rank waits for all creates before writing (IOR's
+            # inter-phase barrier), so open time never pollutes write
+            # time.
+            yield barrier_done
+            start = env.now
+            rec = yield from fs.write(
+                f,
+                node=machine.node_of(rank),
+                offset=0,
+                nbytes=nbytes,
+                writer=rank,
+            )
+            timings[rank] = WriterTiming(
+                rank=rank,
+                start=start,
+                end=env.now,
+                nbytes=nbytes,
+                target_group=rank % n_osts,
+            )
+            return f
+
+        def main():
+            t0 = env.now
+            barrier_done = env.event()
+            procs = [
+                env.process(rank_proc(r, barrier_done), name=f"posix.{r}")
+                for r in range(n_ranks)
+            ]
+            yield env.all_of(procs)
+            phase["write_end"] = env.now
+            flush_t = 0.0
+            if self.include_flush:
+                fstart = env.now
+                for p in procs:
+                    f = p.value
+                    yield from fs.flush(f)
+                flush_t = env.now - fstart
+            cstart = env.now
+            for p in procs:
+                yield from fs.close(p.value)
+            phase["close"] = env.now - cstart
+            phase["flush"] = flush_t
+            return t0
+
+        done = env.process(main(), name="posix.main")
+        env.run(until=done)
+        t0 = done.value
+
+        index = None
+        if self.build_index:
+            index = GlobalIndex()
+            for rank in range(n_ranks):
+                index.add_file(
+                    f"/{output_name}/rank{rank:06d}.dat",
+                    app.index_entries(rank, 0.0),
+                )
+
+        result = OutputResult(
+            transport=self.name,
+            n_writers=n_ranks,
+            total_bytes=nbytes * n_ranks,
+            open_time=phase["open_end"] - t0,
+            write_time=phase["write_end"] - phase["open_end"],
+            flush_time=phase["flush"],
+            close_time=phase["close"],
+            per_writer=[t for t in timings if t is not None],
+            files=sorted(files),
+            index=index,
+        )
+        return self._finish(machine, result)

@@ -1,0 +1,144 @@
+"""Split-file output — the paper's Section II-3 alternative.
+
+"Another approach to reducing internal interference is to split output
+into a collection of files to match the parallel file system being
+used.  In the case of Jaguar and its Lustre FS, for instance,
+splitting output into 5 parts would enable an application to take full
+advantage of the entire file system's resources."  (672 targets /
+160-stripe cap ≈ 5 files.)
+
+The paper's verdict — "this helps alleviate internal interference, but
+does not solve it nor does it address external interference" — is
+exactly what the split-files ablation bench demonstrates: more targets
+help, but all writers still write simultaneously and nothing reacts to
+slow targets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.groups import GroupMap
+from repro.core.index import GlobalIndex
+from repro.core.transports.base import OutputResult, Transport, WriterTiming
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine
+
+__all__ = ["SplitFilesTransport"]
+
+
+class SplitFilesTransport(Transport):
+    """MPI-IO-style concurrent writing into K stripe-capped files.
+
+    Parameters
+    ----------
+    n_files:
+        Number of shared files; default ``ceil(pool / stripe cap)`` —
+        enough to cover every storage target (the paper's "5 parts").
+    """
+
+    name = "splitfiles"
+
+    def __init__(self, n_files: Optional[int] = None,
+                 build_index: bool = True):
+        if n_files is not None and n_files < 1:
+            raise ValueError("n_files must be >= 1")
+        self.n_files = n_files
+        self.build_index = build_index
+
+    def run(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        env = machine.env
+        fs = machine.fs
+        n_ranks = machine.n_ranks
+        cap = fs.max_stripe_count
+        n_files = self.n_files or max(1, math.ceil(machine.n_osts / cap))
+        n_files = min(n_files, n_ranks)
+        groups = GroupMap(n_ranks, n_files)
+        chunk = app.per_process_bytes
+        timings: List[Optional[WriterTiming]] = [None] * n_ranks
+        files: Dict[int, object] = {}
+        paths: List[str] = []
+        phase: Dict[str, float] = {}
+
+        def rank_proc(rank: int, files_ready):
+            yield files_ready
+            g = groups.group_of(rank)
+            slot = rank - groups.ranks_in(g)[0]
+            start = env.now
+            yield from fs.write(
+                files[g],
+                node=machine.node_of(rank),
+                offset=slot * chunk,
+                nbytes=chunk,
+                writer=rank,
+            )
+            timings[rank] = WriterTiming(
+                rank=rank, start=start, end=env.now, nbytes=chunk,
+                target_group=g,
+            )
+
+        def main():
+            t0 = env.now
+            files_ready = env.event()
+            procs = [
+                env.process(rank_proc(r, files_ready), name=f"split.{r}")
+                for r in range(n_ranks)
+            ]
+            for g in range(n_files):
+                stripes = min(cap, machine.n_osts, groups.group_size(g))
+                path = f"/{output_name}.part{g}.bp"
+                f = yield from fs.create(
+                    path, stripe_count=stripes, stripe_size=chunk
+                )
+                files[g] = f
+                paths.append(path)
+            phase["open_end"] = env.now
+            files_ready.succeed()
+            yield env.all_of(procs)
+            phase["write_end"] = env.now
+            flushes = [
+                env.process(fs.flush(f), name="split.flush")
+                for f in files.values()
+            ]
+            yield env.all_of(flushes)
+            phase["flush_end"] = env.now
+            for f in files.values():
+                yield from fs.close(f)
+            phase["close_end"] = env.now
+            return t0
+
+        done = env.process(main(), name="split.main")
+        env.run(until=done)
+        t0 = done.value
+
+        index = None
+        if self.build_index:
+            index = GlobalIndex()
+            for g in range(n_files):
+                entries = []
+                for slot, rank in enumerate(groups.ranks_in(g)):
+                    entries.extend(app.index_entries(rank, slot * chunk))
+                index.add_file(paths[g], entries)
+
+        result = OutputResult(
+            transport=self.name,
+            n_writers=n_ranks,
+            total_bytes=chunk * n_ranks,
+            open_time=phase["open_end"] - t0,
+            write_time=phase["write_end"] - phase["open_end"],
+            flush_time=phase["flush_end"] - phase["write_end"],
+            close_time=phase["close_end"] - phase["flush_end"],
+            per_writer=[t for t in timings if t is not None],
+            files=list(paths),
+            index=index,
+            extra={"n_files": float(n_files)},
+        )
+        return self._finish(machine, result)

@@ -1,0 +1,172 @@
+"""The ADIOS *stagger* method — prior work, kept as an ablation.
+
+"Some results for the ADIOS stagger IO approach were reported at the
+2009 Cray User's Group.  Stagger addressed internal interference and
+exposed the magnitude of the transient external interference."
+
+Stagger does two things adaptive IO inherits, and nothing more:
+
+* file opens are staggered in time so the metadata server sees a
+  trickle, not a thundering herd;
+* each storage target serves its writers one at a time (static
+  serialization).
+
+Crucially there is **no coordinator and no steering**: a group stuck
+behind a slow OST stays stuck, which is exactly the gap adaptive IO
+closes — making this the natural ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.groups import GroupMap
+from repro.core.index import GlobalIndex
+from repro.core.transports.base import OutputResult, Transport, WriterTiming
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import AppKernel
+    from repro.machines.base import Machine
+
+__all__ = ["StaggerTransport"]
+
+
+class StaggerTransport(Transport):
+    """Staggered opens + per-target serialization, no adaptation.
+
+    Parameters
+    ----------
+    n_osts_used:
+        Storage targets (= groups = sub-files); defaults to
+        ``min(pool size, n_ranks)``.
+    open_stagger:
+        Seconds between consecutive groups' file creates.
+    build_index:
+        Assemble the global index (on by default; stagger is an ADIOS
+        method and writes BP files).
+    """
+
+    name = "stagger"
+
+    def __init__(
+        self,
+        n_osts_used: Optional[int] = None,
+        open_stagger: float = 2.0e-3,
+        build_index: bool = True,
+    ):
+        if open_stagger < 0:
+            raise ValueError("open_stagger must be >= 0")
+        self.n_osts_used = n_osts_used
+        self.open_stagger = open_stagger
+        self.build_index = build_index
+
+    def run(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        env = machine.env
+        fs = machine.fs
+        n_ranks = machine.n_ranks
+        n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
+        if not 1 <= n_groups <= machine.n_osts:
+            raise ValueError(
+                f"n_osts_used {n_groups} out of range for pool of "
+                f"{machine.n_osts}"
+            )
+        n_groups = min(n_groups, n_ranks)
+        groups = GroupMap(n_ranks, n_groups)
+        nbytes = app.per_process_bytes
+        timings: List[Optional[WriterTiming]] = [None] * n_ranks
+        files: Dict[int, object] = {}
+        phase: Dict[str, float] = {}
+
+        def group_proc(g: int, files_ready, all_created):
+            # Staggered create: group g opens open_stagger * g later.
+            yield env.timeout(self.open_stagger * g)
+            path = f"/{output_name}.bp.dir/{g:04d}.bp"
+            ost = fs.allocate_osts(1)[0]
+            f = yield from fs.create(path, osts=[ost], stripe_size=1e15)
+            files[g] = f
+            all_created[0] += 1
+            if all_created[0] == n_groups:
+                phase["open_end"] = env.now
+                files_ready.succeed()
+            yield files_ready
+            # Static serialization: members write one at a time, in
+            # rank order, each at the running offset.
+            offset = 0.0
+            for rank in groups.ranks_in(g):
+                start = env.now
+                yield from fs.write(
+                    f,
+                    node=machine.node_of(rank),
+                    offset=offset,
+                    nbytes=nbytes,
+                    writer=rank,
+                )
+                timings[rank] = WriterTiming(
+                    rank=rank,
+                    start=start,
+                    end=env.now,
+                    nbytes=nbytes,
+                    target_group=g,
+                )
+                offset += nbytes
+
+        def main():
+            t0 = env.now
+            files_ready = env.event()
+            all_created = [0]
+            procs = [
+                env.process(
+                    group_proc(g, files_ready, all_created),
+                    name=f"stagger.g{g}",
+                )
+                for g in range(n_groups)
+            ]
+            yield env.all_of(procs)
+            phase["write_end"] = env.now
+            flushes = [
+                env.process(fs.flush(f), name="stagger.flush")
+                for f in files.values()
+            ]
+            yield env.all_of(flushes)
+            phase["flush_end"] = env.now
+            for f in files.values():
+                yield from fs.close(f)
+            phase["close_end"] = env.now
+            return t0
+
+        done = env.process(main(), name="stagger.main")
+        env.run(until=done)
+        t0 = done.value
+
+        index = None
+        if self.build_index:
+            index = GlobalIndex()
+            for g in range(n_groups):
+                entries = []
+                offset = 0.0
+                for rank in groups.ranks_in(g):
+                    entries.extend(app.index_entries(rank, offset))
+                    offset += nbytes
+                index.add_file(f"/{output_name}.bp.dir/{g:04d}.bp", entries)
+
+        result = OutputResult(
+            transport=self.name,
+            n_writers=n_ranks,
+            total_bytes=nbytes * n_ranks,
+            open_time=phase["open_end"] - t0,
+            write_time=phase["write_end"] - phase["open_end"],
+            flush_time=phase["flush_end"] - phase["write_end"],
+            close_time=phase["close_end"] - phase["flush_end"],
+            per_writer=[t for t in timings if t is not None],
+            files=sorted(
+                f"/{output_name}.bp.dir/{g:04d}.bp" for g in range(n_groups)
+            ),
+            index=index,
+            extra={"n_groups": float(n_groups)},
+        )
+        return self._finish(machine, result)

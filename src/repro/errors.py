@@ -1,0 +1,50 @@
+"""Exception hierarchy for :mod:`repro`."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "FileSystemError",
+    "FileNotFoundInNamespace",
+    "FileExistsInNamespace",
+    "StripeLimitExceeded",
+    "ProtocolError",
+    "TransportError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or machine configuration is invalid."""
+
+
+class FileSystemError(ReproError):
+    """Base class for simulated-file-system errors."""
+
+
+class FileNotFoundInNamespace(FileSystemError, KeyError):
+    """Open of a path that does not exist."""
+
+
+class FileExistsInNamespace(FileSystemError):
+    """Exclusive create of a path that already exists."""
+
+
+class StripeLimitExceeded(FileSystemError, ValueError):
+    """Requested stripe count exceeds the file system's per-file limit.
+
+    Models the Lustre 1.6 cap of 160 storage targets per file that the
+    paper identifies as the structural bottleneck of single-file output.
+    """
+
+
+class ProtocolError(ReproError):
+    """An adaptive-IO protocol invariant was violated."""
+
+
+class TransportError(ReproError):
+    """A transport failed to complete an output operation."""

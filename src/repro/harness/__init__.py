@@ -1,0 +1,20 @@
+"""Experiment harness: seeded multi-sample runs and report formatting.
+
+One module per paper artifact lives in :mod:`repro.harness.figures`;
+each exposes ``run(scale=..., base_seed=...)`` returning a structured
+result whose ``render()`` prints the same rows/series the paper
+reports.  ``scale`` selects a preset: "smoke" (seconds, used by
+tests), "small" (the benchmark default — reduced machine, full shape),
+"paper" (the publication configuration; hours of wall time).
+"""
+
+from repro.harness.experiment import Scale, run_samples, scale_from_env
+from repro.harness.report import format_table, render_series
+
+__all__ = [
+    "Scale",
+    "format_table",
+    "render_series",
+    "run_samples",
+    "scale_from_env",
+]

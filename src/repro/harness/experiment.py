@@ -1,0 +1,56 @@
+"""Seeded sampling utilities shared by all experiments."""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+from typing import Callable, List, TypeVar
+
+__all__ = ["Scale", "run_samples", "scale_from_env", "sample_seed"]
+
+T = TypeVar("T")
+
+
+class Scale(str, Enum):
+    """Experiment size preset."""
+
+    SMOKE = "smoke"  # seconds; used by the test suite
+    SMALL = "small"  # benchmark default: reduced machine, full shape
+    PAPER = "paper"  # publication configuration (slow)
+
+    @classmethod
+    def parse(cls, value: "str | Scale") -> "Scale":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown scale {value!r}; choose from "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+def scale_from_env(default: "str | Scale" = Scale.SMALL) -> Scale:
+    """Scale selected by the REPRO_SCALE environment variable."""
+    return Scale.parse(os.environ.get("REPRO_SCALE", default))
+
+
+def sample_seed(base_seed: int, sample: int) -> int:
+    """Derived per-sample seed (stable, collision-free spacing)."""
+    return base_seed * 1_000_003 + sample
+
+
+def run_samples(
+    fn: Callable[[int], T],
+    n_samples: int,
+    base_seed: int = 0,
+) -> List[T]:
+    """Run ``fn(seed)`` for each of *n_samples* derived seeds.
+
+    Every sample builds its own machine from its seed, so samples are
+    statistically independent and individually reproducible.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    return [fn(sample_seed(base_seed, i)) for i in range(n_samples)]

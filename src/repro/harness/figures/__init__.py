@@ -1,0 +1,13 @@
+"""Per-artifact experiment definitions (one module per table/figure)."""
+
+from repro.harness.figures import (  # noqa: F401
+    fig1,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+)
+
+__all__ = ["fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "table1"]

@@ -1,0 +1,32 @@
+"""External-interference generators.
+
+Two mechanisms, matching the paper's two experimental setups:
+
+* :class:`~repro.interference.markov.MarkovLoadModel` — statistical
+  *production* noise: Markov-modulated per-OST load multipliers plus a
+  correlated system-wide modulator.  This stands in for the mixture of
+  other batch jobs and analysis clusters sharing Jaguar's and
+  Franklin's scratch systems, and is calibrated to reproduce Table I's
+  40-60% coefficients of variation and Fig. 3's transient per-OST
+  imbalance.
+* :class:`~repro.interference.background.BackgroundWriterJob` — the
+  paper's explicit artificial-interference program: 24 processes,
+  three per storage target, continuously writing 1 GB each to a file
+  striped over 8 OSTs.  These are *real* flows contending on the
+  fabric, exactly like the instrumented job's writes.
+"""
+
+from repro.interference.markov import LoadState, MarkovLoadModel
+from repro.interference.background import BackgroundWriterJob
+from repro.interference.production import (
+    production_noise,
+    install_production_noise,
+)
+
+__all__ = [
+    "BackgroundWriterJob",
+    "LoadState",
+    "MarkovLoadModel",
+    "install_production_noise",
+    "production_noise",
+]

@@ -1,0 +1,6 @@
+"""IOR-like benchmark workload (Section II's measurement instrument)."""
+
+from repro.ior.config import IorConfig
+from repro.ior.runner import run_ior
+
+__all__ = ["IorConfig", "run_ior"]

@@ -1,0 +1,33 @@
+"""Lustre-like parallel file system model.
+
+The pieces the paper's phenomena live in:
+
+* :class:`~repro.lustre.ost.OstPool` — the storage targets: write-back
+  caches, seek-efficiency degradation under concurrent streams, and
+  external-load multipliers.  Internal interference *is* this model.
+* :class:`~repro.lustre.layout.StripeLayout` — RAID-0 striping with the
+  Lustre 1.6 cap of 160 OSTs per file.
+* :class:`~repro.lustre.mds.MetadataServer` — queued open/create
+  operations (the reason the stagger method exists).
+* :class:`~repro.lustre.filesystem.FileSystem` — namespace + client
+  write/read path, issuing flows on the fabric.
+"""
+
+from repro.lustre.ost import EfficiencyCurve, OstPool, OstPoolConfig
+from repro.lustre.layout import StripeLayout
+from repro.lustre.file import SimFile
+from repro.lustre.filesystem import FileSystem
+from repro.lustre.mds import MetadataServer
+from repro.lustre.panfs import panfs_efficiency_curve, panfs_ingest_curve
+
+__all__ = [
+    "EfficiencyCurve",
+    "FileSystem",
+    "MetadataServer",
+    "OstPool",
+    "OstPoolConfig",
+    "SimFile",
+    "StripeLayout",
+    "panfs_efficiency_curve",
+    "panfs_ingest_curve",
+]

@@ -1,0 +1,70 @@
+"""File objects in the simulated namespace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lustre.layout import StripeLayout
+
+__all__ = ["SimFile", "WriteRecord"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One completed write: who wrote what where, and when."""
+
+    offset: float
+    nbytes: float
+    start_time: float
+    end_time: float
+    writer: Optional[int] = None  # rank, when known
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class SimFile:
+    """A file: a stripe layout plus the history of writes against it.
+
+    The simulator does not store payload bytes — experiments only need
+    extents and timing — but it *does* store opaque per-extent payload
+    tags when callers provide them, which is how the BP index layer
+    round-trips metadata through "files" for the read-back path.
+    """
+
+    path: str
+    layout: StripeLayout
+    create_time: float = 0.0
+    writes: List[WriteRecord] = field(default_factory=list)
+    payloads: Dict[Tuple[float, float], object] = field(default_factory=dict)
+    closed: bool = False
+
+    @property
+    def size(self) -> float:
+        """Bytes from 0 to the end of the furthest extent written."""
+        if not self.writes:
+            return 0.0
+        return max(w.offset + w.nbytes for w in self.writes)
+
+    @property
+    def bytes_written(self) -> float:
+        """Total bytes written (extents may overlap; they all count)."""
+        return sum(w.nbytes for w in self.writes)
+
+    def record_write(self, record: WriteRecord, payload: object = None) -> None:
+        if self.closed:
+            raise ValueError(f"{self.path}: write after close")
+        self.writes.append(record)
+        if payload is not None:
+            self.payloads[(record.offset, record.nbytes)] = payload
+
+    def payload_at(self, offset: float, nbytes: float) -> object:
+        """The payload tag stored for an exact extent, or None."""
+        return self.payloads.get((offset, nbytes))
+
+    def extents(self) -> List[Tuple[float, float]]:
+        """(offset, nbytes) of every write, in completion order."""
+        return [(w.offset, w.nbytes) for w in self.writes]

@@ -1,0 +1,116 @@
+"""RAID-0 stripe layout: mapping file byte ranges onto storage targets.
+
+Lustre distributes a file round-robin in ``stripe_size`` chunks over
+``stripe_count`` OSTs chosen at create time.  Lustre 1.6 caps
+``stripe_count`` at 160 — the paper's headline structural limit: one
+shared output file can reach at most 160 of Jaguar's 672 OSTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.units import MB
+
+__all__ = ["StripeLayout"]
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Immutable stripe map of one file.
+
+    Parameters
+    ----------
+    osts:
+        The OST indices the file is striped over, in stripe order.
+    stripe_size:
+        Bytes per stripe chunk (Lustre default 1 MB; ADIOS-tuned files
+        often use much larger values so one process chunk maps to one
+        OST).
+    """
+
+    osts: Tuple[int, ...]
+    stripe_size: float = 1.0 * MB
+
+    def __post_init__(self):
+        if not self.osts:
+            raise ValueError("layout needs at least one OST")
+        if len(set(self.osts)) != len(self.osts):
+            raise ValueError("duplicate OSTs in layout")
+        if self.stripe_size <= 0:
+            raise ValueError("stripe_size must be positive")
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self.osts)
+
+    def ost_of_offset(self, offset: float) -> int:
+        """The OST storing the byte at *offset*."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        stripe_index = int(offset // self.stripe_size)
+        return self.osts[stripe_index % self.stripe_count]
+
+    def spans(self, offset: float, nbytes: float) -> Dict[int, float]:
+        """Bytes landing on each OST for a write of ``[offset, offset+nbytes)``.
+
+        Returns a dict ``ost -> bytes`` (only OSTs receiving data).
+        A range covering many whole stripe rounds is computed in closed
+        form; only the ragged head and tail are walked.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset and nbytes must be non-negative")
+        if nbytes == 0:
+            return {}
+        ss = self.stripe_size
+        sc = self.stripe_count
+        out: Dict[int, float] = {}
+
+        first_stripe = int(offset // ss)
+        last_stripe = int((offset + nbytes - 1) // ss)
+        n_stripes = last_stripe - first_stripe + 1
+
+        if n_stripes >= 2 * sc + 2:
+            # Closed form: whole rounds hit every OST equally.
+            head_end = (first_stripe + 1) * ss
+            head = head_end - offset
+            out[self.osts[first_stripe % sc]] = head
+            tail_start = last_stripe * ss
+            tail = (offset + nbytes) - tail_start
+            out[self.osts[last_stripe % sc]] = (
+                out.get(self.osts[last_stripe % sc], 0.0) + tail
+            )
+            inner = n_stripes - 2
+            whole_rounds, extra = divmod(inner, sc)
+            if whole_rounds:
+                for ost in self.osts:
+                    out[ost] = out.get(ost, 0.0) + whole_rounds * ss
+            stripe = first_stripe + 1
+            for _ in range(extra):
+                ost = self.osts[stripe % sc]
+                out[ost] = out.get(ost, 0.0) + ss
+                stripe += 1
+            return out
+
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            stripe_index = int(pos // ss)
+            chunk_end = (stripe_index + 1) * ss
+            take = min(remaining, chunk_end - pos)
+            ost = self.osts[stripe_index % sc]
+            out[ost] = out.get(ost, 0.0) + take
+            pos += take
+            remaining -= take
+        return out
+
+    def span_list(self, offset: float, nbytes: float) -> List[Tuple[int, float]]:
+        """:meth:`spans` as a deterministic (ost, bytes) list."""
+        return sorted(self.spans(offset, nbytes).items())
+
+    def bytes_per_ost(self, total_bytes: float) -> np.ndarray:
+        """Even split of *total_bytes* over the layout (for estimates)."""
+        return np.full(self.stripe_count, total_bytes / self.stripe_count)

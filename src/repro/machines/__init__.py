@@ -1,0 +1,24 @@
+"""Machine presets: the three systems the paper measures.
+
+* :func:`~repro.machines.jaguar.jaguar` — ORNL Jaguar XT5: 18 680 nodes
+  (dual hex-core), 672-OST Lustre 1.6 shared scratch.
+* :func:`~repro.machines.franklin.franklin` — NERSC Franklin XT4:
+  96-OST Lustre scratch.
+* :func:`~repro.machines.xtp.xtp` — Sandia XTP: 160 nodes, PanFS with
+  40 StorageBlades.
+"""
+
+from repro.machines.base import Machine, MachineSpec
+from repro.machines.jaguar import jaguar
+from repro.machines.franklin import franklin
+from repro.machines.xtp import xtp
+from repro.machines.bluegene import bluegene_p
+
+__all__ = [
+    "Machine",
+    "MachineSpec",
+    "bluegene_p",
+    "franklin",
+    "jaguar",
+    "xtp",
+]

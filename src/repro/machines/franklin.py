@@ -1,0 +1,35 @@
+"""Franklin XT4 (NERSC).
+
+Paper facts: 38 128 Opteron compute cores, Lustre scratch with 96
+storage targets and 436 TB.  Franklin's NERSC monitoring data supplies
+the paper's second production-variability series (CoV ≈ 59%).
+"""
+
+from __future__ import annotations
+
+from repro.lustre.ost import OstPoolConfig
+from repro.machines.base import MachineSpec
+from repro.units import GB, MB
+
+__all__ = ["franklin"]
+
+
+def franklin(n_osts: int = 96) -> MachineSpec:
+    """The Franklin machine spec."""
+    return MachineSpec(
+        name="franklin",
+        max_cores=38_128,
+        cores_per_node=4,
+        nic_bandwidth=1.2 * GB,
+        ost_config=OstPoolConfig(
+            n_osts=n_osts,
+            drain_peak=160.0 * MB,
+            ingest_peak=400.0 * MB,
+            cache_capacity=192.0 * MB,
+        ),
+        max_stripe_count=160,
+        default_stripe_size=1.0 * MB,
+        per_stream_cap=280.0 * MB,
+        mds_concurrency=6,
+        mds_mean_service_time=1.5e-3,
+    )

@@ -1,0 +1,23 @@
+"""Statistics the paper reports: bandwidth summaries, CoV, imbalance."""
+
+from repro.metrics.stats import (
+    SampleStats,
+    coefficient_of_variation,
+    imbalance_factor,
+    summarize,
+)
+from repro.metrics.histogram import Histogram, text_histogram
+from repro.metrics.timeline import WriterTimeline
+from repro.metrics.recorder import LoadRecorder, LoadSample
+
+__all__ = [
+    "Histogram",
+    "LoadRecorder",
+    "LoadSample",
+    "SampleStats",
+    "WriterTimeline",
+    "coefficient_of_variation",
+    "imbalance_factor",
+    "summarize",
+    "text_histogram",
+]

@@ -1,0 +1,142 @@
+"""Time-series recording of storage-system state during a run.
+
+A :class:`LoadRecorder` samples the fabric and OST pool on a fixed
+simulated-time cadence, producing per-OST timelines of stream counts,
+inflow and cache fill.  This is the observability the paper's authors
+used system logs for: with it you can *see* adaptive IO draining all
+targets together while MPI-IO leaves a straggler busy long after the
+rest idle.
+
+Usage::
+
+    rec = LoadRecorder(machine, interval=0.5)
+    rec.start()
+    ...run the output...
+    rec.stop()
+    print(rec.utilization_summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machines.base import Machine
+
+__all__ = ["LoadRecorder", "LoadSample"]
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """One snapshot of the storage system."""
+
+    time: float
+    stream_counts: np.ndarray  # active flows per OST
+    inflow: np.ndarray  # allocated bytes/s per OST
+    cache_fill: np.ndarray  # cache level / capacity per OST
+
+
+class LoadRecorder:
+    """Samples pool/fabric state every ``interval`` simulated seconds."""
+
+    def __init__(self, machine: "Machine", interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.machine = machine
+        self.interval = interval
+        self.samples: List[LoadSample] = []
+        self._running = False
+        self._proc = None
+
+    def _sampler(self):
+        env = self.machine.env
+        fabric = self.machine.fs.fabric
+        pool = self.machine.pool
+        while self._running:
+            fabric.invalidate()  # bring accounting up to now
+            self.samples.append(
+                LoadSample(
+                    time=env.now,
+                    stream_counts=fabric.sink_stream_counts(),
+                    inflow=fabric.sink_inflow(),
+                    cache_fill=pool.cache_fill_fraction(),
+                )
+            )
+            yield env.timeout(self.interval)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("recorder already running")
+        self._running = True
+        self._proc = self.machine.env.process(
+            self._sampler(), name="load-recorder"
+        )
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- analysis ----------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.samples])
+
+    def inflow_matrix(self) -> np.ndarray:
+        """(n_samples, n_osts) inflow rates."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return np.vstack([s.inflow for s in self.samples])
+
+    def busy_fraction(self) -> np.ndarray:
+        """Per-OST fraction of samples with at least one active stream."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        counts = np.vstack([s.stream_counts for s in self.samples])
+        return (counts > 0).mean(axis=0)
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """Aggregate balance statistics over the recording window."""
+        inflow = self.inflow_matrix()
+        busy = self.busy_fraction()
+        mean_inflow = inflow.mean(axis=0)
+        total = mean_inflow.sum()
+        if total > 0:
+            share = mean_inflow / total
+            # Jain's fairness index: 1.0 = perfectly even use of OSTs.
+            fairness = float(
+                share.sum() ** 2 / (len(share) * (share**2).sum())
+            )
+        else:
+            fairness = float("nan")
+        return {
+            "n_samples": float(self.n_samples),
+            "mean_busy_fraction": float(busy.mean()),
+            "min_busy_fraction": float(busy.min()),
+            "jain_fairness": fairness,
+            "peak_total_inflow": float(inflow.sum(axis=1).max()),
+        }
+
+    def straggler_window(self, threshold: float = 0.5) -> float:
+        """Seconds during which fewer than ``threshold`` of the OSTs
+        that were ever used are still active — the long tail where a
+        few stragglers hold the job."""
+        if len(self.samples) < 2:
+            return 0.0
+        counts = np.vstack([s.stream_counts for s in self.samples])
+        ever_used = (counts > 0).any(axis=0)
+        n_used = int(ever_used.sum())
+        if n_used == 0:
+            return 0.0
+        active_now = (counts[:, ever_used] > 0).sum(axis=1)
+        # Ignore leading/trailing fully-idle samples.
+        live = np.nonzero(active_now > 0)[0]
+        if live.size == 0:
+            return 0.0
+        window = active_now[live[0]: live[-1] + 1]
+        tail = window < threshold * n_used
+        return float(tail.sum() * self.interval)

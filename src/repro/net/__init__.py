@@ -1,0 +1,24 @@
+"""Interconnect model: node topology, fluid flow network, message latency.
+
+The data plane of the simulator is a *fluid-flow* model: each bulk
+transfer is a flow with a byte count; at any instant the set of active
+flows shares the bipartite capacity graph (compute-node NICs on one
+side, storage-target ingest ports on the other) according to the
+max-min fair allocation.  The :class:`~repro.net.fabric.FlowNetwork`
+recomputes the allocation only when the flow set or a capacity changes,
+advancing all flows vectorially in numpy — this is what makes
+16k-writer simulations tractable in pure Python.
+"""
+
+from repro.net.topology import Topology
+from repro.net.fabric import FlowNetwork, FlowStats, SinkPool, UniformSinkPool
+from repro.net.latency import MessageLatencyModel
+
+__all__ = [
+    "FlowNetwork",
+    "FlowStats",
+    "MessageLatencyModel",
+    "SinkPool",
+    "Topology",
+    "UniformSinkPool",
+]

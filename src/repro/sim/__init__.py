@@ -1,0 +1,56 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free DES kernel in the style of SimPy: simulation
+*processes* are Python generators that ``yield`` :class:`~repro.sim.events.Event`
+objects to suspend until the event fires.  The :class:`~repro.sim.engine.Environment`
+owns the event calendar and the clock.
+
+The kernel is the substrate everything else in :mod:`repro` runs on: the
+simulated MPI layer, the Lustre-like file system, the interference
+generators, and the adaptive-IO protocol processes are all kernel
+processes exchanging kernel events.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def ticker(env, period):
+...     while True:
+...         yield env.timeout(period)
+...         log.append(env.now)
+>>> _ = env.process(ticker(env, 10.0))
+>>> env.run(until=35.0)
+>>> log
+[10.0, 20.0, 30.0]
+"""
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAborted,
+    Timeout,
+)
+from repro.sim.process import Interrupt, Process, ProcessKilled
+from repro.sim.engine import Environment, SimulationError, StopSimulation
+from repro.sim.queues import PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "EventAborted",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,178 @@
+"""The simulation environment: clock, calendar, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "StopSimulation", "SimulationError"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early."""
+
+
+class SimulationError(RuntimeError):
+    """An unhandled exception escaped a simulation process."""
+
+    def __init__(self, process: Process, cause: BaseException):
+        super().__init__(f"process {process.name!r} crashed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Environment:
+    """Owns simulated time and the pending-event calendar.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the clock (seconds by convention throughout
+        :mod:`repro`).
+    strict:
+        When True (default) an unhandled exception in any process aborts
+        the whole simulation with :class:`SimulationError` — silent
+        process death hides protocol bugs.
+    """
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+        self._crashed: Optional[SimulationError] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Launch *generator* as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events) -> Event:
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> Event:
+        from repro.sim.events import AllOf
+
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], None], priority: int = 1
+    ) -> Event:
+        """Run a plain callable at ``now + delay`` (no process needed).
+
+        Used by the flow network to arm its single "next state change"
+        timer.  Returns the underlying event; callers may ignore a fired
+        timer by checking their own generation counters — the kernel does
+        not support descheduling, which keeps the calendar a plain heap.
+        """
+        ev = Event(self)
+        ev._ok = True
+        ev._value = None
+        ev.add_callback(lambda _ev: fn())
+        self._schedule(ev, delay=delay, priority=priority)
+        return ev
+
+    def _crash(self, process: Process, cause: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = SimulationError(process, cause)
+
+    # -- run loop -----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise StopSimulation("calendar empty")
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        if t < self._now - 1e-12:
+            raise RuntimeError(
+                f"time went backwards: event at {t} < now {self._now}"
+            )
+        self._now = max(self._now, t)
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks:
+            fn(event)
+            if self._crashed is not None:
+                raise self._crashed
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the calendar drains, *until* time passes, or event fires.
+
+        Returns the event's value when *until* is an event.
+        """
+        if until is None:
+            stop_time = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_time = float("inf")
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+        else:
+            stop_time = float(until)
+            stop_event = None
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            try:
+                self.step()
+            except StopSimulation:
+                break
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+        if stop_event is not None:
+            raise RuntimeError(
+                "simulation ran out of events before the awaited event fired"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

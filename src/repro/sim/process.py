@@ -1,0 +1,185 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process suspends
+until that event fires, then resumes with the event's value (or with the
+event's exception raised at the yield point).  A process is itself an
+event that fires when the generator returns — so processes can wait on
+each other (fork/join) simply by yielding the child process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Process", "Interrupt", "ProcessKilled"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupted process may catch it and continue; the event it was
+    waiting on remains pending and may be re-awaited.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Failure value of a process that was forcibly killed."""
+
+
+class Process(Event):
+    """A running simulation process (also an event: fires on return).
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    generator:
+        The generator to drive.
+    name:
+        Optional label for tracebacks and debugging.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current sim time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    # -- control -------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self.name}: cannot interrupt a dead process")
+        if self._waiting_on is None:
+            raise RuntimeError(
+                f"{self.name}: cannot interrupt before first suspension"
+            )
+        # Detach from the event we were waiting on; it may still fire but
+        # must not resume us twice.
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        # Resume immediately (at current time) with the interrupt.
+        kick = Event(self.env)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick.add_callback(self._resume_with_interrupt)
+        self.env._schedule(kick, priority=0)
+
+    def kill(self, cause: Any = None) -> None:
+        """Terminate the process; its event fails with ProcessKilled."""
+        if not self.is_alive:
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self.generator.close()
+        self.fail(ProcessKilled(cause))
+
+    # -- kernel resume paths --------------------------------------------
+    def _resume_with_interrupt(self, kick: Event) -> None:
+        self._step(throw=kick._value)
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event and self._waiting_on is not None:
+            return  # stale callback after interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event._value)
+        else:
+            self._step(throw=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if env.strict:
+                self.fail(exc)
+                env._crash(self, exc)
+            else:
+                self.fail(exc)
+            return
+        finally:
+            env._active_process = None
+
+        if not isinstance(target, Event):
+            err = TypeError(
+                f"{self.name}: processes must yield Event instances, "
+                f"got {target!r}"
+            )
+            self.generator.close()
+            self.fail(err)
+            if env.strict:
+                env._crash(self, err)
+            return
+        if target.env is not env:
+            err = ValueError(f"{self.name}: yielded event from foreign environment")
+            self.generator.close()
+            self.fail(err)
+            if env.strict:
+                env._crash(self, err)
+            return
+
+        self._waiting_on = target
+        if target.processed:
+            # Already fired: resume on the next scheduling round (keeps
+            # resume ordering FIFO and avoids unbounded recursion).
+            kick = Event(env)
+            kick._ok = target._ok
+            kick._value = target._value
+            self._waiting_on = kick
+            kick.add_callback(self._resume)
+            env._schedule(kick)
+        else:
+            target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name} {state}>"

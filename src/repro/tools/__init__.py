@@ -1,0 +1,7 @@
+"""Command-line entry points.
+
+* ``python -m repro.tools.experiment fig1 --scale small`` — regenerate
+  any paper artifact and print its table.
+* ``python -m repro.tools.compare --app pixie3d:large --procs 512`` —
+  ad-hoc transport comparisons on any machine model.
+"""

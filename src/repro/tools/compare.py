@@ -1,0 +1,137 @@
+"""CLI: ad-hoc transport comparison on any machine model.
+
+Usage::
+
+    python -m repro.tools.compare --app pixie3d:large --procs 512 \\
+        --machine jaguar --osts 84 --stripe-cap 20 \\
+        --methods mpiio adaptive stagger --noise --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.middleware import Adios
+from repro.harness.report import format_table
+from repro.interference import (
+    BackgroundWriterJob,
+    install_production_noise,
+)
+from repro.units import GB, fmt_bytes
+
+__all__ = ["main", "build_app", "build_spec"]
+
+_MACHINES = ("jaguar", "franklin", "xtp", "bluegene_p")
+
+
+def build_app(token: str):
+    """Parse an app token: "xgc1", "pixie3d:large", "gtc", "s3d",
+    "ior:<MB>"."""
+    name, _, arg = token.partition(":")
+    if name == "pixie3d":
+        from repro.apps import pixie3d
+
+        return pixie3d(arg or "large")
+    if name == "xgc1":
+        from repro.apps import xgc1
+
+        return xgc1()
+    if name == "gtc":
+        from repro.apps import gtc
+
+        return gtc()
+    if name == "s3d":
+        from repro.apps import s3d
+
+        return s3d()
+    if name == "ior":
+        from repro.ior.runner import ior_app
+        from repro.units import MB
+
+        return ior_app(float(arg or 128) * MB)
+    raise SystemExit(f"unknown app {token!r}")
+
+
+def build_spec(name: str, n_osts, stripe_cap):
+    import repro.machines as machines
+
+    if name not in _MACHINES:
+        raise SystemExit(f"unknown machine {name!r}; choose {_MACHINES}")
+    factory = getattr(machines, name)
+    spec = factory(n_osts) if n_osts else factory()
+    if stripe_cap:
+        spec = spec.with_overrides(max_stripe_count=stripe_cap)
+    return spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.compare",
+        description="Compare IO transports on a simulated machine.",
+    )
+    parser.add_argument("--app", default="xgc1",
+                        help="app token, e.g. pixie3d:xl or ior:256")
+    parser.add_argument("--machine", default="jaguar", choices=_MACHINES)
+    parser.add_argument("--procs", type=int, default=512)
+    parser.add_argument("--osts", type=int, default=None,
+                        help="storage-target count override")
+    parser.add_argument("--stripe-cap", type=int, default=None,
+                        help="per-file stripe cap override")
+    parser.add_argument(
+        "--methods", nargs="+",
+        default=["mpiio", "adaptive"],
+        choices=Adios.available_methods(),
+    )
+    parser.add_argument("--noise", action="store_true",
+                        help="install live production noise")
+    parser.add_argument("--background-job", action="store_true",
+                        help="add the paper's 24-process writer job")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    app = build_app(args.app)
+    spec = build_spec(args.machine, args.osts, args.stripe_cap)
+    print(
+        f"{app.name}: {args.procs} procs x "
+        f"{fmt_bytes(app.per_process_bytes)} on {spec.name} "
+        f"({spec.n_osts} targets, stripe cap {spec.max_stripe_count}, "
+        f"seed {args.seed})\n"
+    )
+    rows = []
+    for method in args.methods:
+        machine = spec.build(
+            n_ranks=args.procs,
+            seed=args.seed,
+            extra_service_nodes=2 if args.background_job else 0,
+        )
+        if args.noise:
+            install_production_noise(machine, live=True)
+        if args.background_job:
+            BackgroundWriterJob(machine, write_size=1 * GB).start()
+        res = Adios(machine, method=method).write_output(app, name="out")
+        rows.append(
+            (
+                method,
+                res.aggregate_bandwidth / 1e9,
+                res.reported_time,
+                res.imbalance_factor,
+                len(res.files),
+                res.n_adaptive_writes,
+            )
+        )
+    print(
+        format_table(
+            ["method", "GB/s", "time (s)", "imbalance", "files",
+             "steered"],
+            rows,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""CLI: regenerate a paper artifact.
+
+Usage::
+
+    python -m repro.tools.experiment fig1 --scale small --seed 0
+    python -m repro.tools.experiment table1 --scale paper
+    python -m repro.tools.experiment all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.harness.experiment import Scale
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _fig1(scale, seed):
+    from repro.harness.figures import fig1
+
+    return fig1.run(scale, seed).render()
+
+
+def _table1(scale, seed):
+    from repro.harness.figures import table1
+
+    return table1.run(scale, seed).render()
+
+
+def _fig2(scale, seed):
+    from repro.harness.figures import fig2
+
+    return fig2.run(scale, seed).render()
+
+
+def _fig3(scale, seed):
+    from repro.harness.figures import fig3
+
+    return fig3.run(scale, seed).render()
+
+
+def _fig5(scale, seed):
+    from repro.harness.figures import fig5
+
+    return fig5.run(scale, seed).render()
+
+
+def _fig6(scale, seed):
+    from repro.harness.figures import fig6
+
+    return fig6.run(scale, seed).render()
+
+
+def _fig7(scale, seed):
+    from repro.harness.figures import fig7
+
+    return fig7.run(scale, seed).render()
+
+
+ARTIFACTS: Dict[str, Callable] = {
+    "fig1": _fig1,
+    "table1": _table1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.experiment",
+        description=(
+            "Regenerate a table or figure from 'Managing Variability in "
+            "the IO Performance of Petascale Storage Systems' (SC'10)."
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=[s.value for s in Scale],
+        help="experiment size preset (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        start = time.time()
+        text = ARTIFACTS[name](Scale.parse(args.scale), args.seed)
+        elapsed = time.time() - start
+        print(text)
+        print(f"\n[{name} @ {args.scale}, seed {args.seed}: "
+              f"{elapsed:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Tests for the application IO kernels."""
+
+import pytest
+
+from repro.apps import AppKernel, Variable, gtc, pixie3d, s3d, xgc1
+from repro.units import MB, GB
+
+
+class TestVariable:
+    def test_nbytes(self):
+        v = Variable("x", shape=(10, 10), dtype="f8")
+        assert v.nbytes == 800.0
+        assert v.count == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Variable("x", shape=(0,))
+        with pytest.raises(ValueError):
+            Variable("x", shape=(1,), dtype="complex")
+        with pytest.raises(ValueError):
+            Variable("x", shape=(1,), value_range=(2.0, 1.0))
+
+
+class TestAppKernel:
+    def test_duplicate_vars_rejected(self):
+        with pytest.raises(ValueError):
+            AppKernel("a", [Variable("x", (1,)), Variable("x", (2,))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AppKernel("a", [])
+
+    def test_index_entries_layout(self):
+        app = AppKernel(
+            "a", [Variable("x", (10,)), Variable("y", (5,))]
+        )
+        entries = app.index_entries(rank=3, base_offset=1000.0)
+        assert entries[0].offset == 1000.0
+        assert entries[1].offset == 1080.0
+        assert all(e.writer == 3 for e in entries)
+        assert sum(e.nbytes for e in entries) == app.per_process_bytes
+
+    def test_characteristics_deterministic(self):
+        app = pixie3d("small")
+        var = app.variables[0]
+        a = app.characteristics_of(5, var)
+        b = app.characteristics_of(5, var)
+        assert a == b
+        c = app.characteristics_of(6, var)
+        assert a != c
+
+    def test_characteristics_within_range(self):
+        app = pixie3d("small")
+        for rank in range(5):
+            for var in app.variables:
+                ch = app.characteristics_of(rank, var)
+                lo, hi = var.value_range
+                assert lo <= ch.minimum <= ch.maximum <= hi
+
+    def test_sample_block(self):
+        app = xgc1()
+        block = app.sample_block(0, "iweight", n=16)
+        assert block.shape == (16,)
+        with pytest.raises(KeyError):
+            app.sample_block(0, "nope")
+
+
+class TestPaperSizes:
+    def test_pixie3d_small_is_2mb(self):
+        assert pixie3d("small").per_process_bytes == pytest.approx(
+            2 * MB, rel=0.05
+        )
+
+    def test_pixie3d_large_is_128mb(self):
+        assert pixie3d("large").per_process_bytes == pytest.approx(
+            128 * MB, rel=0.05
+        )
+
+    def test_pixie3d_xl_is_1gb(self):
+        assert pixie3d("xl").per_process_bytes == pytest.approx(
+            1 * GB, rel=0.08
+        )
+
+    def test_pixie3d_eight_double_3d_arrays(self):
+        app = pixie3d("large")
+        assert len(app.variables) == 8
+        assert all(v.dtype == "f8" for v in app.variables)
+        assert all(len(v.shape) == 3 for v in app.variables)
+
+    def test_pixie3d_unknown_model(self):
+        with pytest.raises(ValueError):
+            pixie3d("gigantic")
+
+    def test_xgc1_is_38mb(self):
+        assert xgc1().per_process_bytes == pytest.approx(38 * MB, rel=0.01)
+
+    def test_gtc_default_is_128mb(self):
+        assert gtc().per_process_bytes == pytest.approx(128 * MB, rel=0.01)
+
+    def test_s3d_mid_sized(self):
+        assert 10 * MB < s3d().per_process_bytes < 40 * MB
+
+    def test_weak_scaling_total(self):
+        app = pixie3d("xl")
+        # Paper: 16k processes x 1 GB = 16 TB per output.
+        assert app.total_bytes(16384) == pytest.approx(16.8e12, rel=0.05)

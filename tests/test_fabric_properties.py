@@ -1,0 +1,153 @@
+"""Property-based tests on the flow network's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fabric import (
+    FlowNetwork,
+    UniformSinkPool,
+    max_min_fair_rates,
+)
+from repro.sim import Environment
+
+
+@st.composite
+def allocation_case(draw):
+    n_src = draw(st.integers(1, 6))
+    n_dst = draw(st.integers(1, 6))
+    n_flows = draw(st.integers(1, 30))
+    src = draw(
+        st.lists(st.integers(0, n_src - 1), min_size=n_flows,
+                 max_size=n_flows)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n_dst - 1), min_size=n_flows,
+                 max_size=n_flows)
+    )
+    cap_src = draw(
+        st.lists(st.floats(1.0, 1e4), min_size=n_src, max_size=n_src)
+    )
+    cap_dst = draw(
+        st.lists(st.floats(1.0, 1e4), min_size=n_dst, max_size=n_dst)
+    )
+    return (
+        np.array(src),
+        np.array(dst),
+        np.array(cap_src),
+        np.array(cap_dst),
+    )
+
+
+class TestMaxMinProperties:
+    @given(allocation_case())
+    @settings(max_examples=200, deadline=None)
+    def test_feasibility(self, case):
+        """No resource is ever oversubscribed."""
+        src, dst, cs, cd = case
+        rates = max_min_fair_rates(src, dst, cs, cd)
+        assert (rates >= 0).all()
+        per_src = np.bincount(src, weights=rates, minlength=len(cs))
+        per_dst = np.bincount(dst, weights=rates, minlength=len(cd))
+        assert (per_src <= cs * (1 + 1e-6)).all()
+        assert (per_dst <= cd * (1 + 1e-6)).all()
+
+    @given(allocation_case())
+    @settings(max_examples=200, deadline=None)
+    def test_every_flow_bottlenecked(self, case):
+        """Work conservation: each flow touches a saturated resource."""
+        src, dst, cs, cd = case
+        rates = max_min_fair_rates(src, dst, cs, cd)
+        per_src = np.bincount(src, weights=rates, minlength=len(cs))
+        per_dst = np.bincount(dst, weights=rates, minlength=len(cd))
+        sat_s = per_src >= cs * (1 - 1e-6)
+        sat_d = per_dst >= cd * (1 - 1e-6)
+        assert (sat_s[src] | sat_d[dst]).all()
+
+    @given(allocation_case())
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariance(self, case):
+        """Scaling every capacity by k scales every rate by k."""
+        src, dst, cs, cd = case
+        r1 = max_min_fair_rates(src, dst, cs, cd)
+        r2 = max_min_fair_rates(src, dst, cs * 3.0, cd * 3.0)
+        assert np.allclose(r2, r1 * 3.0, rtol=1e-6)
+
+    @given(allocation_case())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_flows_equal_rates(self, case):
+        """Flows with identical endpoints get identical rates."""
+        src, dst, cs, cd = case
+        rates = max_min_fair_rates(src, dst, cs, cd)
+        seen = {}
+        for i, (s, d) in enumerate(zip(src, dst)):
+            key = (int(s), int(d))
+            if key in seen:
+                assert rates[i] == pytest.approx(seen[key], rel=1e-6)
+            else:
+                seen[key] = rates[i]
+
+    @given(allocation_case(), st.floats(1.0, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_flow_caps_respected(self, case, cap):
+        src, dst, cs, cd = case
+        fcap = np.full(len(src), cap)
+        rates = max_min_fair_rates(src, dst, cs, cd, fcap)
+        assert (rates <= cap * (1 + 1e-9)).all()
+
+
+class TestNetworkConservationProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),  # source
+                st.integers(0, 2),  # sink
+                st.floats(1.0, 1000.0),  # bytes
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_delivered_exactly(self, flows, seed):
+        """Every byte of every flow is delivered exactly once, no
+        matter the arrival pattern."""
+        env = Environment()
+        pool = UniformSinkPool(3, 50.0)
+        net = FlowNetwork(env, np.full(4, 100.0), pool)
+        rng = np.random.default_rng(seed)
+        results = []
+
+        def starter(env, delay, s, d, nbytes):
+            yield env.timeout(delay)
+            stats = yield net.start_flow(s, d, nbytes)
+            results.append(stats)
+
+        total = 0.0
+        for s, d, nbytes in flows:
+            total += nbytes
+            env.process(
+                starter(env, float(rng.uniform(0, 5)), s, d, nbytes)
+            )
+        env.run()
+        assert len(results) == len(flows)
+        assert net.total_bytes_delivered == pytest.approx(total, rel=1e-6)
+        assert net.active_flow_count == 0
+        # Per-flow sanity: durations consistent with capacity bounds.
+        for stats in results:
+            assert stats.duration >= stats.nbytes / 100.0 - 1e-9
+
+    @given(st.integers(1, 40), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_completion_of_equal_flows(self, n_flows, seed):
+        """Identical flows started together finish together."""
+        env = Environment()
+        pool = UniformSinkPool(1, 10.0)
+        net = FlowNetwork(env, np.array([1e6]), pool)
+        events = [net.start_flow(0, 0, 100.0) for _ in range(n_flows)]
+        done = env.all_of(events)
+        env.run(until=done)
+        ends = {e.value.end_time for e in events}
+        assert len(ends) == 1

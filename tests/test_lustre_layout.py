@@ -1,0 +1,134 @@
+"""Unit + property tests for stripe layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lustre.layout import StripeLayout
+
+
+class TestStripeLayoutBasics:
+    def test_single_ost_all_bytes(self):
+        lay = StripeLayout((7,), stripe_size=100)
+        assert lay.spans(0, 1000) == {7: 1000}
+
+    def test_round_robin(self):
+        lay = StripeLayout((0, 1, 2), stripe_size=10)
+        spans = lay.spans(0, 30)
+        assert spans == {0: 10, 1: 10, 2: 10}
+
+    def test_offset_starts_mid_stripe(self):
+        lay = StripeLayout((0, 1), stripe_size=10)
+        spans = lay.spans(5, 10)
+        assert spans == {0: 5, 1: 5}
+
+    def test_ost_of_offset(self):
+        lay = StripeLayout((4, 9), stripe_size=10)
+        assert lay.ost_of_offset(0) == 4
+        assert lay.ost_of_offset(10) == 9
+        assert lay.ost_of_offset(25) == 4
+
+    def test_zero_length_write(self):
+        lay = StripeLayout((0, 1), stripe_size=10)
+        assert lay.spans(5, 0) == {}
+
+    def test_span_list_sorted(self):
+        lay = StripeLayout((5, 2, 8), stripe_size=10)
+        lst = lay.span_list(0, 30)
+        assert [o for o, _ in lst] == [2, 5, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripeLayout(())
+        with pytest.raises(ValueError):
+            StripeLayout((1, 1))
+        with pytest.raises(ValueError):
+            StripeLayout((1,), stripe_size=0)
+        lay = StripeLayout((0,))
+        with pytest.raises(ValueError):
+            lay.spans(-1, 10)
+        with pytest.raises(ValueError):
+            lay.ost_of_offset(-1)
+
+    def test_large_write_closed_form_matches_walk(self):
+        """The closed-form path must agree with explicit stripe walking."""
+        lay = StripeLayout(tuple(range(5)), stripe_size=7)
+        offset, nbytes = 3, 7 * 5 * 6 + 11  # many whole rounds + ragged ends
+        got = lay.spans(offset, nbytes)
+
+        expected = {}
+        pos, rem = offset, nbytes
+        while rem > 0:
+            idx = int(pos // 7)
+            take = min(rem, (idx + 1) * 7 - pos)
+            ost = lay.osts[idx % 5]
+            expected[ost] = expected.get(ost, 0) + take
+            pos += take
+            rem -= take
+        assert got == expected
+
+
+@st.composite
+def layout_and_range(draw):
+    n_osts = draw(st.integers(1, 8))
+    osts = tuple(range(100, 100 + n_osts))
+    stripe = draw(st.integers(1, 64))
+    offset = draw(st.integers(0, 500))
+    nbytes = draw(st.integers(0, 5000))
+    return StripeLayout(osts, stripe_size=stripe), offset, nbytes
+
+
+class TestStripeLayoutProperties:
+    @given(layout_and_range())
+    @settings(max_examples=200)
+    def test_spans_conserve_bytes(self, case):
+        lay, offset, nbytes = case
+        assert sum(lay.spans(offset, nbytes).values()) == pytest.approx(nbytes)
+
+    @given(layout_and_range())
+    @settings(max_examples=200)
+    def test_spans_only_layout_osts(self, case):
+        lay, offset, nbytes = case
+        assert set(lay.spans(offset, nbytes)) <= set(lay.osts)
+
+    @given(layout_and_range())
+    @settings(max_examples=100)
+    def test_closed_form_equals_walk(self, case):
+        lay, offset, nbytes = case
+        got = lay.spans(offset, nbytes)
+        expected = {}
+        pos, rem = float(offset), float(nbytes)
+        ss = lay.stripe_size
+        while rem > 0:
+            idx = int(pos // ss)
+            take = min(rem, (idx + 1) * ss - pos)
+            ost = lay.osts[idx % lay.stripe_count]
+            expected[ost] = expected.get(ost, 0.0) + take
+            pos += take
+            rem -= take
+        assert set(got) == set(expected)
+        for k in got:
+            assert got[k] == pytest.approx(expected[k])
+
+    @given(layout_and_range())
+    @settings(max_examples=100)
+    def test_adjacent_writes_tile(self, case):
+        """spans(a, x) + spans(a+x, y) == spans(a, x+y) per OST."""
+        lay, offset, nbytes = case
+        split = nbytes // 2
+        left = lay.spans(offset, split)
+        right = lay.spans(offset + split, nbytes - split)
+        combined = {}
+        for d in (left, right):
+            for k, v in d.items():
+                combined[k] = combined.get(k, 0.0) + v
+        whole = lay.spans(offset, nbytes)
+        assert set(combined) == set(whole)
+        for k in whole:
+            assert combined[k] == pytest.approx(whole[k])
+
+    def test_even_split_estimate(self):
+        lay = StripeLayout((0, 1, 2, 3), stripe_size=10)
+        est = lay.bytes_per_ost(100.0)
+        assert np.allclose(est, 25.0)

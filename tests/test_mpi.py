@@ -1,0 +1,238 @@
+"""Tests for the simulated MPI communicator."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, SimComm
+from repro.net.latency import MessageLatencyModel
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_comm(env, n=4, alpha=1e-6):
+    return SimComm(env, n, latency=MessageLatencyModel(alpha=alpha, beta=0))
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, env):
+        comm = make_comm(env)
+        got = []
+
+        def receiver():
+            msg = yield comm.recv(1)
+            got.append(msg)
+
+        def sender():
+            comm.send(0, 1, {"x": 1}, tag=5)
+            if False:
+                yield
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        (msg,) = got
+        assert msg.payload == {"x": 1}
+        assert msg.source == 0 and msg.dest == 1 and msg.tag == 5
+        assert msg.delivered_at > msg.sent_at
+
+    def test_recv_before_send(self, env):
+        comm = make_comm(env)
+        got = []
+
+        def receiver():
+            msg = yield comm.recv(0)
+            got.append(msg.payload)
+
+        def sender():
+            yield env.timeout(5)
+            comm.send(1, 0, "late")
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert got == ["late"]
+
+    def test_tag_matching(self, env):
+        comm = make_comm(env)
+        got = []
+
+        def receiver():
+            msg = yield comm.recv(0, tag=7)
+            got.append(msg.payload)
+
+        def sender():
+            comm.send(1, 0, "wrong", tag=3)
+            comm.send(1, 0, "right", tag=7)
+            if False:
+                yield
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert got == ["right"]
+        assert comm.inbox_size(0) == 1  # the tag-3 message still queued
+
+    def test_source_matching(self, env):
+        comm = make_comm(env)
+        got = []
+
+        def receiver():
+            msg = yield comm.recv(0, source=2)
+            got.append(msg.source)
+
+        def senders():
+            comm.send(1, 0, "a")
+            comm.send(2, 0, "b")
+            if False:
+                yield
+
+        env.process(receiver())
+        env.process(senders())
+        env.run()
+        assert got == [2]
+
+    def test_wildcards(self, env):
+        comm = make_comm(env)
+        got = []
+
+        def receiver():
+            for _ in range(2):
+                msg = yield comm.recv(3, source=ANY_SOURCE, tag=ANY_TAG)
+                got.append((msg.source, msg.tag))
+
+        def senders():
+            comm.send(0, 3, None, tag=1)
+            comm.send(1, 3, None, tag=2)
+            if False:
+                yield
+
+        env.process(receiver())
+        env.process(senders())
+        env.run()
+        assert sorted(got) == [(0, 1), (1, 2)]
+
+    def test_fifo_per_pair(self, env):
+        comm = make_comm(env)
+        got = []
+
+        def receiver():
+            for _ in range(3):
+                msg = yield comm.recv(1, source=0)
+                got.append(msg.payload)
+
+        def sender():
+            for i in range(3):
+                comm.send(0, 1, i)
+            if False:
+                yield
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_latency_applied(self, env):
+        comm = make_comm(env, alpha=0.5)
+        times = []
+
+        def receiver():
+            yield comm.recv(1)
+            times.append(env.now)
+
+        def sender():
+            comm.send(0, 1, None)
+            if False:
+                yield
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert times == [pytest.approx(0.5)]
+
+    def test_rank_validation(self, env):
+        comm = make_comm(env, n=2)
+        with pytest.raises(ValueError):
+            comm.send(0, 5, None)
+        with pytest.raises(ValueError):
+            comm.recv(9)
+        with pytest.raises(ValueError):
+            SimComm(env, 0)
+
+    def test_message_counters(self, env):
+        comm = make_comm(env)
+
+        def sender():
+            comm.send(0, 1, None)
+            comm.send(0, 2, None)
+            comm.send(3, 2, None)
+            if False:
+                yield
+
+        env.process(sender())
+        env.run()
+        assert comm.messages_sent == 3
+        assert comm.messages_by_rank[0] == 2
+        assert comm.messages_by_rank[3] == 1
+
+
+class TestCollectives:
+    def test_barrier_blocks_until_all(self, env):
+        comm = make_comm(env, n=3)
+        release_times = []
+
+        def participant(rank, delay):
+            yield env.timeout(delay)
+            yield from comm.barrier(rank, name="b0")
+            release_times.append((rank, env.now))
+
+        env.process(participant(0, 1))
+        env.process(participant(1, 5))
+        env.process(participant(2, 3))
+        env.run()
+        times = [t for _, t in release_times]
+        assert len(set(times)) == 1
+        assert times[0] >= 5.0
+
+    def test_sequential_barriers_need_names(self, env):
+        comm = make_comm(env, n=2)
+        log = []
+
+        def participant(rank):
+            for gen in range(3):
+                yield from comm.barrier(rank, name=f"gen{gen}")
+                log.append((gen, rank))
+
+        env.process(participant(0))
+        env.process(participant(1))
+        env.run()
+        assert [g for g, _ in log] == [0, 0, 1, 1, 2, 2]
+
+    def test_partial_barrier(self, env):
+        comm = make_comm(env, n=4)
+        done = []
+
+        def participant(rank):
+            yield from comm.barrier(rank, name="sub", n=2)
+            done.append(rank)
+
+        env.process(participant(0))
+        env.process(participant(1))
+        env.run()
+        assert sorted(done) == [0, 1]
+
+    def test_bcast_delivers_root_value(self, env):
+        comm = make_comm(env, n=3)
+        got = []
+
+        def participant(rank):
+            v = yield from comm.bcast(rank, root=1,
+                                      value=("data" if rank == 1 else None))
+            got.append((rank, v))
+
+        for r in range(3):
+            env.process(participant(r))
+        env.run()
+        assert sorted(got) == [(0, "data"), (1, "data"), (2, "data")]

@@ -1,0 +1,67 @@
+"""Tests for the CLI entry points."""
+
+import pytest
+
+from repro.tools.compare import build_app, build_spec, main as compare_main
+from repro.tools.experiment import ARTIFACTS, main as experiment_main
+
+
+class TestExperimentCli:
+    def test_artifact_registry_covers_paper(self):
+        assert set(ARTIFACTS) == {
+            "fig1", "table1", "fig2", "fig3", "fig5", "fig6", "fig7"
+        }
+
+    def test_runs_one_artifact(self, capsys):
+        rc = experiment_main(["fig3", "--scale", "smoke", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "imbalance" in out
+        assert "fig3 @ smoke" in out
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            experiment_main(["fig99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            experiment_main(["fig3", "--scale", "galactic"])
+
+
+class TestCompareCli:
+    def test_build_app_tokens(self):
+        assert build_app("xgc1").name == "xgc1"
+        assert build_app("pixie3d:small").name == "pixie3d.small"
+        assert build_app("gtc").name == "gtc"
+        assert build_app("s3d").name.startswith("s3d")
+        assert build_app("ior:64").per_process_bytes == pytest.approx(64e6)
+        with pytest.raises(SystemExit):
+            build_app("doom")
+
+    def test_build_spec_overrides(self):
+        spec = build_spec("jaguar", 32, 8)
+        assert spec.n_osts == 32
+        assert spec.max_stripe_count == 8
+        with pytest.raises(SystemExit):
+            build_spec("summit", None, None)
+
+    def test_end_to_end_comparison(self, capsys):
+        rc = compare_main(
+            [
+                "--app", "ior:4", "--procs", "8", "--osts", "4",
+                "--methods", "posix", "adaptive", "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "posix" in out and "adaptive" in out
+        assert "GB/s" in out
+
+    def test_noise_and_background_flags(self, capsys):
+        rc = compare_main(
+            [
+                "--app", "ior:4", "--procs", "8", "--osts", "12",
+                "--methods", "adaptive", "--noise", "--background-job",
+            ]
+        )
+        assert rc == 0
