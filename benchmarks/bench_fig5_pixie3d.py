@@ -19,7 +19,11 @@ def test_fig5_pixie3d(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: fig5.run(scale, base_seed=0), rounds=1, iterations=1
     )
-    save_result("fig5_pixie3d", result.render())
+    save_result(
+        "fig5_pixie3d",
+        result.render(),
+        data={m: r.to_dict() for m, r in result.panels.items()},
+    )
 
     if scale.value == "smoke":
         # The smoke machine is too small for the paper's ratios; just

@@ -15,7 +15,7 @@ def test_fig6_xgc1(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: fig6.run(scale, base_seed=0), rounds=1, iterations=1
     )
-    save_result("fig6_xgc1", result.render())
+    save_result("fig6_xgc1", result.render(), data=result.sweep.to_dict())
 
     sweep = result.sweep
     if scale.value == "smoke":

@@ -15,7 +15,11 @@ def test_fig7_write_time_stddev(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: fig7.run(scale, base_seed=100), rounds=1, iterations=1
     )
-    save_result("fig7_stddev", result.render())
+    save_result(
+        "fig7_stddev",
+        result.render(),
+        data={c: r.to_dict() for c, r in result.sweeps.items()},
+    )
 
     if scale.value == "smoke":
         return  # one sample -> std is 0/degenerate

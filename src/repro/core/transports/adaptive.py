@@ -136,6 +136,8 @@ class AdaptiveTransport(Transport):
             sum(e.serialized_bytes for e in app.index_entries(0, 0.0))
         )
 
+        tracer = env.tracer
+        traced = tracer is not None and tracer.enabled
         sc_rank = [groups.sub_coordinator_of(g) for g in range(n_groups)]
         coord = groups.coordinator
         group_of = [groups.group_of(r) for r in range(n_ranks)]
@@ -150,19 +152,41 @@ class AdaptiveTransport(Transport):
         def writer_proc(rank: int, files_ready):
             yield files_ready
             g = group_of[rank]
+            node = machine.node_of(rank)
+            wpid, wtid = f"node/{node}", f"rank {rank}"
+            if traced:
+                tracer.begin("wait", cat="writer", pid=wpid, tid=wtid)
             msg = yield comm.recv(rank, tag=TAG_WRITER)  # (target, offset)
             ws: WriteStart = msg.payload
+            if traced:
+                tracer.end("wait", cat="writer", pid=wpid, tid=wtid,
+                           args={"target_group": ws.target_group,
+                                 "adaptive": ws.adaptive})
             if self.index_build_time:
+                if traced:
+                    tracer.begin("index", cat="writer", pid=wpid, tid=wtid)
                 yield env.timeout(self.index_build_time)  # build local index
+                if traced:
+                    tracer.end("index", cat="writer", pid=wpid, tid=wtid)
             start = env.now
+            if traced:
+                tracer.begin(
+                    "write", cat="writer", pid=wpid, tid=wtid,
+                    args={"nbytes": float(nbytes),
+                          "target_group": ws.target_group,
+                          "offset": float(ws.offset),
+                          "adaptive": ws.adaptive},
+                )
             yield from fs.write(
                 files[ws.target_group],
-                node=machine.node_of(rank),
+                node=node,
                 offset=ws.offset,
                 nbytes=nbytes,
                 writer=rank,
             )
             end = env.now
+            if traced:
+                tracer.end("write", cat="writer", pid=wpid, tid=wtid)
             timings[rank] = WriterTiming(
                 rank=rank,
                 start=start,
@@ -227,6 +251,13 @@ class AdaptiveTransport(Transport):
                     and active_local < self.writers_per_target
                 ):
                     w = waiting.popleft()
+                    if traced:
+                        tracer.instant(
+                            "WRITE_START", cat="steer", pid="adaptive",
+                            tid=f"sc {g}",
+                            args={"writer": w, "target_group": g,
+                                  "offset": float(cursor)},
+                        )
                     comm.send(
                         me, w, WriteStart(g, cursor), tag=TAG_WRITER
                     )
@@ -262,6 +293,12 @@ class AdaptiveTransport(Transport):
                 elif isinstance(p, AdaptiveWriteStart):
                     if not waiting:
                         stats["busy_bounces"] += 1
+                        if traced:
+                            tracer.instant(
+                                "WRITERS_BUSY", cat="steer",
+                                pid="adaptive", tid=f"sc {g}",
+                                args={"target_group": p.target_group},
+                            )
                         comm.send(
                             me,
                             coord,
@@ -272,6 +309,15 @@ class AdaptiveTransport(Transport):
                         # Steal from the tail: the head writer is next
                         # in line for our own target anyway.
                         w = waiting.pop()
+                        if traced:
+                            tracer.instant(
+                                "WRITE_START", cat="steer",
+                                pid="adaptive", tid=f"sc {g}",
+                                args={"writer": w,
+                                      "target_group": p.target_group,
+                                      "offset": float(p.offset),
+                                      "adaptive": True},
+                            )
                         comm.send(
                             me,
                             w,
@@ -332,6 +378,21 @@ class AdaptiveTransport(Transport):
                 g = next_writing_sc(exclude=target)
                 if g is None:
                     return
+                if traced:
+                    target_file = files.get(target)
+                    tracer.instant(
+                        "ADAPTIVE_WRITE_START", cat="steer",
+                        pid="adaptive", tid="coordinator",
+                        args={
+                            "target_group": target,
+                            "target_ost": (
+                                int(target_file.layout.osts[0])
+                                if target_file is not None else -1
+                            ),
+                            "steer_from_group": g,
+                            "offset": float(cursor[target]),
+                        },
+                    )
                 comm.send(
                     coord,
                     sc_rank[g],
@@ -363,6 +424,13 @@ class AdaptiveTransport(Transport):
                 elif isinstance(p, ScComplete):
                     state[p.source_group] = _COMPLETE
                     cursor[p.source_group] = p.final_offset
+                    if traced:
+                        tracer.instant(
+                            "SC_COMPLETE", cat="steer",
+                            pid="adaptive", tid="coordinator",
+                            args={"group": p.source_group,
+                                  "final_offset": float(p.final_offset)},
+                        )
                     try_schedule(p.source_group)
                 elif isinstance(p, WritersBusy):
                     # Guard a protocol race: the offer may have crossed

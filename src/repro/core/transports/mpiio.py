@@ -82,20 +82,36 @@ class MpiIoTransport(Transport):
 
         def rank_proc(rank: int, file_ready):
             f = yield file_ready
+            node = machine.node_of(rank)
+            tr = env.tracer
+            traced = tr is not None and tr.enabled
+            wpid, wtid = f"node/{node}", f"rank {rank}"
             # Offset exchange: every rank learns its slot via the
             # collective the real method runs (sizes are gathered and
             # offsets scanned); modelled at tree-collective cost.
+            if traced:
+                tr.begin("wait", cat="writer", pid=wpid, tid=wtid)
             yield env.timeout(
                 machine.spec.latency.tree_collective(16.0, n_ranks)
             )
+            if traced:
+                tr.end("wait", cat="writer", pid=wpid, tid=wtid)
             start = env.now
+            if traced:
+                tr.begin(
+                    "write", cat="writer", pid=wpid, tid=wtid,
+                    args={"nbytes": float(chunk),
+                          "target_group": rank % stripe_count},
+                )
             yield from fs.write(
                 f,
-                node=machine.node_of(rank),
+                node=node,
                 offset=rank * chunk,
                 nbytes=chunk,
                 writer=rank,
             )
+            if traced:
+                tr.end("write", cat="writer", pid=wpid, tid=wtid)
             timings[rank] = WriterTiming(
                 rank=rank,
                 start=start,

@@ -86,13 +86,26 @@ class PosixTransport(Transport):
             # time.
             yield barrier_done
             start = env.now
+            node = machine.node_of(rank)
+            tr = env.tracer
+            traced = tr is not None and tr.enabled
+            if traced:
+                tr.begin(
+                    "write", cat="writer", pid=f"node/{node}",
+                    tid=f"rank {rank}",
+                    args={"nbytes": float(nbytes),
+                          "target_group": rank % n_osts},
+                )
             rec = yield from fs.write(
                 f,
-                node=machine.node_of(rank),
+                node=node,
                 offset=0,
                 nbytes=nbytes,
                 writer=rank,
             )
+            if traced:
+                tr.end("write", cat="writer", pid=f"node/{node}",
+                       tid=f"rank {rank}")
             timings[rank] = WriterTiming(
                 rank=rank,
                 start=start,

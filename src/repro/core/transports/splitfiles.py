@@ -73,13 +73,25 @@ class SplitFilesTransport(Transport):
             g = groups.group_of(rank)
             slot = rank - groups.ranks_in(g)[0]
             start = env.now
+            node = machine.node_of(rank)
+            tr = env.tracer
+            traced = tr is not None and tr.enabled
+            if traced:
+                tr.begin(
+                    "write", cat="writer", pid=f"node/{node}",
+                    tid=f"rank {rank}",
+                    args={"nbytes": float(chunk), "target_group": g},
+                )
             yield from fs.write(
                 files[g],
-                node=machine.node_of(rank),
+                node=node,
                 offset=slot * chunk,
                 nbytes=chunk,
                 writer=rank,
             )
+            if traced:
+                tr.end("write", cat="writer", pid=f"node/{node}",
+                       tid=f"rank {rank}")
             timings[rank] = WriterTiming(
                 rank=rank, start=start, end=env.now, nbytes=chunk,
                 target_group=g,

@@ -97,15 +97,27 @@ class StaggerTransport(Transport):
             # Static serialization: members write one at a time, in
             # rank order, each at the running offset.
             offset = 0.0
+            tr = env.tracer
+            traced = tr is not None and tr.enabled
             for rank in groups.ranks_in(g):
                 start = env.now
+                node = machine.node_of(rank)
+                if traced:
+                    tr.begin(
+                        "write", cat="writer", pid=f"node/{node}",
+                        tid=f"rank {rank}",
+                        args={"nbytes": float(nbytes), "target_group": g},
+                    )
                 yield from fs.write(
                     f,
-                    node=machine.node_of(rank),
+                    node=node,
                     offset=offset,
                     nbytes=nbytes,
                     writer=rank,
                 )
+                if traced:
+                    tr.end("write", cat="writer", pid=f"node/{node}",
+                           tid=f"rank {rank}")
                 timings[rank] = WriterTiming(
                     rank=rank,
                     start=start,

@@ -3,10 +3,17 @@
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from enum import Enum
 from typing import Callable, List, TypeVar
 
-__all__ = ["Scale", "run_samples", "scale_from_env", "sample_seed"]
+__all__ = [
+    "Scale",
+    "run_samples",
+    "scale_from_env",
+    "sample_seed",
+    "trace_to",
+]
 
 T = TypeVar("T")
 
@@ -54,3 +61,25 @@ def run_samples(
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
     return [fn(sample_seed(base_seed, i)) for i in range(n_samples)]
+
+
+@contextmanager
+def trace_to(path: str, tracer=None):
+    """Trace every machine built inside the block; export on exit.
+
+    Installs a :class:`~repro.trace.Tracer` as the process-wide active
+    tracer (every :meth:`MachineSpec.build` picks it up) and writes the
+    Chrome trace-event JSON to *path* when the block finishes — even on
+    error, so a crashed experiment still leaves an inspectable trace.
+
+    >>> with trace_to("trace.json"):         # doctest: +SKIP
+    ...     fig6.run("smoke")
+    """
+    from repro.trace import Tracer, chrome, tracing
+
+    t = tracer if tracer is not None else Tracer()
+    try:
+        with tracing(t):
+            yield t
+    finally:
+        chrome.export(t.events, path)

@@ -114,6 +114,45 @@ class SweepResult:
     def time_std(self, transport: str, condition: str, n: int) -> float:
         return summarize(self.times(transport, condition, n)).std
 
+    def to_dict(self) -> Dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        cells = []
+        for (tname, cond, n), samples in sorted(self.cells.items()):
+            cells.append(
+                {
+                    "transport": tname,
+                    "condition": cond,
+                    "n_procs": n,
+                    "mean_bandwidth": self.mean_bandwidth(tname, cond, n),
+                    "max_bandwidth": self.max_bandwidth(tname, cond, n),
+                    "time_std": self.time_std(tname, cond, n),
+                    "times": [float(s.reported_time) for s in samples],
+                    "n_adaptive_writes": [
+                        int(s.n_adaptive_writes) for s in samples
+                    ],
+                }
+            )
+        speedups = {
+            f"{cond}@{n}": self.speedup(cond, n)
+            for n in self.config.proc_counts
+            for cond in CONDITIONS
+            if ("adaptive", cond, n) in self.cells
+            and ("mpiio", cond, n) in self.cells
+        }
+        return {
+            "app": self.app_name,
+            "per_process_bytes": float(self.per_process_bytes),
+            "config": {
+                "pool_osts": self.config.pool_osts,
+                "adaptive_osts": self.config.adaptive_osts,
+                "stripe_cap": self.config.stripe_cap,
+                "proc_counts": list(self.config.proc_counts),
+                "n_samples": self.config.n_samples,
+            },
+            "cells": cells,
+            "speedups": speedups,
+        }
+
     def render(self, title: str) -> str:
         rows = []
         for n in self.config.proc_counts:

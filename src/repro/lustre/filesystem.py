@@ -218,9 +218,28 @@ class FileSystem:
             )
         start = self.env.now
         if spans:
-            events = [
-                self.fabric.start_flow(node, ost, b) for ost, b in spans
-            ]
+            tr = self.env.tracer
+            traced = tr is not None and tr.enabled
+            events = []
+            for ost, b in spans:
+                ev = self.fabric.start_flow(node, ost, b)
+                if traced:
+                    tid = f"writer {node if writer is None else writer}"
+                    tr.begin(
+                        "ost.service",
+                        cat="ost",
+                        pid=f"ost/{ost}",
+                        tid=tid,
+                        args={"nbytes": float(b), "offset": float(offset),
+                              "writer": writer},
+                    )
+
+                    def _end(_ev, _tr=tr, _ost=ost, _tid=tid) -> None:
+                        _tr.end("ost.service", cat="ost",
+                                pid=f"ost/{_ost}", tid=_tid)
+
+                    ev.add_callback(_end)
+                events.append(ev)
             yield self.env.all_of(events)
         record = WriteRecord(
             offset=offset,

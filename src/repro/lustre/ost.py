@@ -194,11 +194,17 @@ class OstPool:
         self.bytes_absorbed = np.zeros(n)  # cumulative ingest per OST
         self.bytes_drained = np.zeros(n)  # cumulative cache->disk per OST
         self._on_change = None  # fabric.invalidate, wired by FileSystem
+        self._tracer = None  # wired by Machine.attach_tracer
 
     # -- wiring ----------------------------------------------------------
     def bind_invalidate(self, callback) -> None:
         """Register the fabric's invalidate() for out-of-band changes."""
         self._on_change = callback
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach a tracer; the pool stamps events with the ``now`` it
+        receives from the fabric (it holds no environment reference)."""
+        self._tracer = tracer
 
     def set_load_multiplier(
         self,
@@ -260,6 +266,10 @@ class OstPool:
         self.bytes_drained += absorbed + before - self.cache_level
 
     def capacities(self, counts: np.ndarray, now: float) -> np.ndarray:
+        tr = self._tracer
+        traced = tr is not None and tr.enabled
+        if traced:
+            self._trace_stream_changes(counts, now)
         self._last_counts = counts
         cap = self.config.cache_capacity
         if cap > 0:
@@ -269,11 +279,14 @@ class OstPool:
             # tolerance matters: the drain timer fires exactly at the
             # crossing, where `level - drain*dt` can round back to the
             # boundary value and a strict comparison would livelock.
+            before = self._full.copy() if traced else None
             self._full |= self.cache_level >= cap - _LEVEL_EPS
             self._full &= (
                 self.cache_level
                 > self.config.hysteresis * cap + _LEVEL_EPS
             )
+            if traced:
+                self._trace_cache_transitions(before, now)
         else:
             self._full[:] = True
         drain = self._drain_rates(counts)
@@ -307,6 +320,42 @@ class OstPool:
 
         t_min = float(t.min())
         return max(t_min, 0.0)
+
+    # -- trace hooks -----------------------------------------------------
+    def _trace_stream_changes(self, counts: np.ndarray, now: float) -> None:
+        """Counter events for OSTs whose stream count (and therefore
+        seek efficiency) just changed."""
+        prev = self._last_counts
+        if len(prev) != len(counts):
+            return  # pool reconfigured mid-run; nothing comparable
+        changed = np.nonzero(counts != prev)[0]
+        if changed.size == 0:
+            return
+        eff = self.config.drain_curve(np.maximum(counts[changed], 1))
+        for j, i in enumerate(changed):
+            self._tracer.counter(
+                "streams",
+                pid=f"ost/{int(i)}",
+                values={
+                    "streams": int(counts[i]),
+                    "seek_efficiency": float(eff[j]),
+                },
+                ts=now,
+            )
+
+    def _trace_cache_transitions(self, before: np.ndarray,
+                                 now: float) -> None:
+        """Instant events for caches crossing the full/drained boundary."""
+        flipped = np.nonzero(before != self._full)[0]
+        for i in flipped:
+            self._tracer.instant(
+                "cache.full" if self._full[i] else "cache.drained",
+                cat="ost",
+                pid=f"ost/{int(i)}",
+                tid="cache",
+                ts=now,
+                args={"level": float(self.cache_level[i])},
+            )
 
     # -- inspection ------------------------------------------------------
     def drain_rates(self) -> np.ndarray:

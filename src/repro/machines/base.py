@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.tracer import Tracer
 
 from repro.errors import ConfigurationError
 from repro.lustre.filesystem import FileSystem
@@ -59,6 +62,7 @@ class MachineSpec:
         env: Optional[Environment] = None,
         placement: str = "packed",
         extra_service_nodes: int = 0,
+        tracer: Optional["Tracer"] = None,
     ) -> "Machine":
         """Instantiate the machine for a job of ``n_ranks`` processes.
 
@@ -66,6 +70,11 @@ class MachineSpec:
         beyond the job's own — hosts for interference generators
         (other batch jobs, attached analysis clusters) that share the
         file system but not the job's compute nodes.
+
+        ``tracer`` attaches an observability tracer; when omitted the
+        process-wide active tracer (``repro.trace.tracing``) is used if
+        one is installed, so harnesses can trace whole sweeps without
+        threading the tracer through every call site.
         """
         if n_ranks < 1:
             raise ConfigurationError("n_ranks must be >= 1")
@@ -109,7 +118,7 @@ class MachineSpec:
             per_stream_cap=self.per_stream_cap,
             mds=mds,
         )
-        return Machine(
+        machine = Machine(
             spec=self,
             env=env,
             topology=topology,
@@ -119,6 +128,15 @@ class MachineSpec:
             service_node_base=topology.n_nodes,
             n_service_nodes=extra_service_nodes,
         )
+        if tracer is None:
+            from repro.trace import get_active_tracer
+
+            tracer = get_active_tracer()
+        if tracer is None:
+            tracer = env.tracer
+        if tracer is not None:
+            machine.attach_tracer(tracer)
+        return machine
 
 
 @dataclass
@@ -133,6 +151,11 @@ class Machine:
     rngs: RngRegistry
     service_node_base: int = 0
     n_service_nodes: int = 0
+
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Bind a tracer to every traced layer of this machine."""
+        self.env.set_tracer(tracer)
+        self.pool.bind_tracer(tracer)
 
     def service_node(self, i: int) -> int:
         """Source index of the i-th reserved interference node."""

@@ -19,9 +19,11 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
+
+from repro.sim.process import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machines.base import Machine
@@ -50,12 +52,16 @@ class LoadRecorder:
         self.samples: List[LoadSample] = []
         self._running = False
         self._proc = None
+        self._wake = None
 
     def _sampler(self):
         env = self.machine.env
-        fabric = self.machine.fs.fabric
-        pool = self.machine.pool
         while self._running:
+            # Re-resolve fabric/pool every wakeup: the machine's file
+            # system may be swapped out mid-run (reconfiguration
+            # experiments) and sampling a stale fabric crashes.
+            fabric = self.machine.fs.fabric
+            pool = self.machine.pool
             fabric.invalidate()  # bring accounting up to now
             self.samples.append(
                 LoadSample(
@@ -65,9 +71,20 @@ class LoadRecorder:
                     cache_fill=pool.cache_fill_fraction(),
                 )
             )
-            yield env.timeout(self.interval)
+            self._wake = env.timeout(self.interval)
+            try:
+                yield self._wake
+            except Interrupt:
+                return
+            finally:
+                self._wake = None
 
     def start(self) -> None:
+        """Begin (or, after :meth:`stop`, resume) sampling.
+
+        Each start opens a fresh sampling window; samples accumulate
+        across windows.  Call :meth:`clear` first for a clean slate.
+        """
         if self._running:
             raise RuntimeError("recorder already running")
         self._running = True
@@ -76,7 +93,25 @@ class LoadRecorder:
         )
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending wakeup.
+
+        The sampler is interrupted at its current wait, so the calendar
+        holds no recorder event afterwards and no extra sample lands
+        one interval later.
+        """
+        if not self._running:
+            return
         self._running = False
+        proc, self._proc = self._proc, None
+        wake, self._wake = self._wake, None
+        if proc is not None and proc.is_alive and proc.is_suspended:
+            proc.interrupt("recorder stopped")
+        if wake is not None and not wake.processed:
+            wake.cancel()  # drop the pending wakeup from the calendar
+
+    def clear(self) -> None:
+        """Drop all recorded samples (e.g. between windows)."""
+        self.samples.clear()
 
     # -- analysis ----------------------------------------------------------
     @property

@@ -132,6 +132,23 @@ class SimComm:
                 delivered_at=self.env.now,
             )
             self._inboxes[dest].deliver(msg)
+            tr = self.env.tracer
+            if tr is not None and tr.enabled:
+                # One complete span per message, send -> delivery.
+                name = (
+                    payload.__class__.__name__
+                    if payload is not None
+                    else "message"
+                )
+                tr.complete(
+                    name,
+                    cat="mpi",
+                    pid="mpi",
+                    tid=f"rank {dest}",
+                    ts=sent_at,
+                    dur=self.env.now - sent_at,
+                    args={"source": source, "dest": dest, "tag": tag},
+                )
             done.succeed(msg)
 
         self.env.schedule_callback(delay, deliver)

@@ -306,6 +306,15 @@ class FlowNetwork:
         self._records[fid] = (ev, float(nbytes), self.env.now)
         self._slot_of[fid] = slot
         self._id_of_slot[slot] = fid
+        tr = self.env.tracer
+        if tr is not None and tr.enabled:
+            tr.begin(
+                "flow",
+                cat="fabric",
+                pid=f"ost/{sink}",
+                tid=f"flow {fid}",
+                args={"source": source, "nbytes": float(nbytes)},
+            )
         self._settle()
         return ev
 
@@ -323,6 +332,15 @@ class FlowNetwork:
         left = float(self._remaining[slot])
         self._active[slot] = False
         self._free.append(slot)
+        tr = self.env.tracer
+        if tr is not None and tr.enabled:
+            tr.end(
+                "flow",
+                cat="fabric",
+                pid=f"ost/{int(self._dst[slot])}",
+                tid=f"flow {flow_id}",
+                args={"cancelled": True, "undelivered": left},
+            )
         ev.abort(("cancelled", flow_id))
         self._settle()
         return left
@@ -373,6 +391,8 @@ class FlowNetwork:
         self._advance_only()
         now = self.env.now
         self.settle_count += 1
+        tr = self.env.tracer
+        traced = tr is not None and tr.enabled
 
         # Complete drained flows.
         act_slots = np.nonzero(self._active)[0]
@@ -384,6 +404,14 @@ class FlowNetwork:
             self._active[slot] = False
             self._rate[slot] = 0.0
             self._free.append(int(slot))
+            if traced:
+                tr.end(
+                    "flow",
+                    cat="fabric",
+                    pid=f"ost/{int(self._dst[slot])}",
+                    tid=f"flow {fid}",
+                    args={"duration": now - t0},
+                )
             ev.succeed(
                 FlowStats(fid, int(self._src[slot]), int(self._dst[slot]), nbytes, t0, now)
             )
@@ -397,6 +425,13 @@ class FlowNetwork:
             # with no flows, or a drained cache keeps reporting an
             # overdue transition and the timer livelocks at delay 0.
             self.pool.capacities(self._counts, now)
+            if traced:
+                tr.instant(
+                    "reallocate", cat="fabric", pid="fabric", tid="settle",
+                    args={"flows": 0, "total_inflow": 0.0},
+                )
+                tr.counter("inflow", pid="fabric",
+                           values={"bytes_per_s": 0.0})
             t_pool = self.pool.next_transition(self._inflow, self._counts, now)
             self._arm_timer(t_pool)
             return
@@ -415,6 +450,14 @@ class FlowNetwork:
         self._inflow = np.bincount(
             dst, weights=rates, minlength=self.n_sinks
         )
+        if traced:
+            total = float(self._inflow.sum())
+            tr.instant(
+                "reallocate", cat="fabric", pid="fabric", tid="settle",
+                args={"flows": int(act_slots.size), "total_inflow": total},
+            )
+            tr.counter("inflow", pid="fabric",
+                       values={"bytes_per_s": total})
 
         with np.errstate(divide="ignore"):
             finish = np.where(

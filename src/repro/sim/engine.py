@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.tracer import Tracer
 
 __all__ = ["Environment", "StopSimulation", "SimulationError"]
 
@@ -36,15 +39,33 @@ class Environment:
         When True (default) an unhandled exception in any process aborts
         the whole simulation with :class:`SimulationError` — silent
         process death hides protocol bugs.
+    tracer:
+        Optional :class:`~repro.trace.tracer.Tracer` observing this
+        simulation.  ``env.tracer`` is None by default so instrumented
+        layers pay a single attribute check when tracing is off.
     """
 
-    def __init__(self, initial_time: float = 0.0, strict: bool = True):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        strict: bool = True,
+        tracer: Optional["Tracer"] = None,
+    ):
         self._now = float(initial_time)
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.strict = strict
         self._crashed: Optional[SimulationError] = None
+        self.tracer: Optional["Tracer"] = None
+        if tracer is not None:
+            self.set_tracer(tracer)
+
+    def set_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach (or detach, with None) a tracer to this environment."""
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
 
     # -- clock -----------------------------------------------------------
     @property
@@ -72,7 +93,17 @@ class Environment:
         name: Optional[str] = None,
     ) -> Process:
         """Launch *generator* as a new simulation process."""
-        return Process(self, generator, name=name)
+        p = Process(self, generator, name=name)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("process.spawn", cat="process", pid="sim", tid=p.name)
+
+            def _trace_exit(_ev, _tr=tr, _name=p.name) -> None:
+                _tr.instant("process.exit", cat="process", pid="sim",
+                            tid=_name)
+
+            p.add_callback(_trace_exit)
+        return p
 
     def any_of(self, events) -> Event:
         from repro.sim.events import AnyOf
@@ -115,11 +146,21 @@ class Environment:
 
     # -- run loop -----------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` if idle.
+
+        Cancelled entries are discarded here rather than at their fire
+        time, so they never hold the clock hostage: cancelling the last
+        pending event leaves the calendar genuinely empty.
+        """
+        q = self._queue
+        while q and q[0][3]._cancelled:
+            heapq.heappop(q)
+        return q[0][0] if q else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
+        while self._queue and self._queue[0][3]._cancelled:
+            heapq.heappop(self._queue)
         if not self._queue:
             raise StopSimulation("calendar empty")
         t, _prio, _seq, event = heapq.heappop(self._queue)

@@ -50,7 +50,7 @@ class Event:
         bug the kernel turns into an immediate error.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_cancelled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -58,6 +58,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self._cancelled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -105,6 +106,24 @@ class Event:
     def abort(self, cause: Any = None) -> "Event":
         """Convenience: fail with :class:`EventAborted`."""
         return self.fail(EventAborted(cause))
+
+    def cancel(self) -> "Event":
+        """Withdraw a scheduled event from the calendar.
+
+        The heap entry is discarded lazily (the calendar skips it
+        without advancing the clock), so cancelling the last pending
+        event really does leave the calendar empty.  Cancelling an
+        already-processed event is an error; cancelling twice is a
+        no-op.
+        """
+        if self.processed:
+            raise RuntimeError(f"{self!r} already processed")
+        self._cancelled = True
+        return self
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     # -- chaining ------------------------------------------------------
     def add_callback(self, fn: Callable[["Event"], None]) -> None:

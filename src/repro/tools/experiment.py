@@ -94,19 +94,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="base random seed"
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export a Chrome trace-event JSON of every simulation "
+        "run (open in Perfetto; summarize with repro.tools.trace)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for name in names:
-        start = time.time()
-        text = ARTIFACTS[name](Scale.parse(args.scale), args.seed)
-        elapsed = time.time() - start
-        print(text)
-        print(f"\n[{name} @ {args.scale}, seed {args.seed}: "
-              f"{elapsed:.1f}s wall]\n")
+
+    def run_all() -> None:
+        for name in names:
+            start = time.time()
+            text = ARTIFACTS[name](Scale.parse(args.scale), args.seed)
+            elapsed = time.time() - start
+            print(text)
+            print(f"\n[{name} @ {args.scale}, seed {args.seed}: "
+                  f"{elapsed:.1f}s wall]\n")
+
+    if args.trace:
+        from repro.harness.experiment import trace_to
+
+        with trace_to(args.trace) as tracer:
+            run_all()
+        print(f"[trace: {len(tracer.events)} events -> {args.trace}]")
+    else:
+        run_all()
     return 0
 
 

@@ -1,0 +1,118 @@
+"""CLI: summarize a saved Chrome trace-event file.
+
+Usage::
+
+    python -m repro.tools.trace trace.json
+    python -m repro.tools.trace trace.json --all        # every writer
+    python -m repro.tools.trace trace.json --top 50
+    python -m repro.tools.trace trace.json --check      # nesting audit
+
+Prints overall trace statistics (event counts by phase and category,
+time range) followed by the Darshan-style per-writer counter report
+from :mod:`repro.trace.counters`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List
+
+from repro.trace import chrome, check_well_formed
+from repro.trace.counters import per_writer_counters, render_report
+
+__all__ = ["main", "summarize_events"]
+
+
+def summarize_events(events) -> str:
+    """Header block: what is in this trace."""
+    if not events:
+        return "empty trace"
+    by_ph = Counter(ev.ph for ev in events)
+    by_cat = Counter(ev.cat for ev in events)
+    runs = len({ev.run for ev in events})
+    t0 = min(ev.ts for ev in events)
+    t1 = max(ev.ts + ev.dur for ev in events)
+    lines: List[str] = [
+        f"{len(events)} events, {runs} run(s), "
+        f"simulated t = [{t0:.4f}s, {t1:.4f}s]",
+        "phases:   "
+        + ", ".join(f"{ph}={n}" for ph, n in sorted(by_ph.items())),
+        "categories: "
+        + ", ".join(f"{cat}={n}" for cat, n in by_cat.most_common()),
+    ]
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.trace",
+        description="Summarize a Chrome trace-event JSON produced by "
+        "the repro tracer (see repro.harness.experiment.trace_to).",
+    )
+    parser.add_argument("path", help="trace JSON file to summarize")
+    parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="show the N slowest writers per run (default: 20)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="show every writer (overrides --top)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="audit span nesting and exit non-zero on problems "
+        "(spans still open at trace end are reported but tolerated)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="with --check: also fail on spans left open at trace end",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        events = chrome.load(args.path)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {args.path} is not a Chrome trace-event file "
+              f"({type(exc).__name__}: {exc})", file=sys.stderr)
+        return 2
+    print(summarize_events(events))
+    print()
+    if args.check:
+        problems = check_well_formed(
+            events, allow_unclosed=not args.strict
+        )
+        if problems:
+            print(f"{len(problems)} span-nesting problem(s):")
+            for p in problems[:50]:
+                print(f"  {p}")
+            return 1
+        open_spans = len(check_well_formed(events)) - len(problems)
+        if open_spans and not args.strict:
+            print(f"span nesting: OK ({open_spans} span(s) still open "
+                  f"at trace end — background jobs cut off mid-flow)")
+        else:
+            print("span nesting: OK")
+        return 0
+    counters = per_writer_counters(events)
+    print(render_report(counters, top=None if args.all else args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away mid-report
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,158 @@
+"""Chrome trace-event JSON export/import.
+
+The exported file is the "JSON object format" of the Trace Event
+specification: ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.
+Open it at https://ui.perfetto.dev or ``chrome://tracing``.
+
+Mapping choices:
+
+* simulated seconds become microseconds (the format's unit);
+* string track labels become numeric pid/tid with ``process_name`` /
+  ``thread_name`` metadata events, so Perfetto displays "ost/3" and
+  "rank 17" instead of bare numbers;
+* when the tracer observed several runs (a sweep), process labels are
+  prefixed with ``run<N>`` to keep the runs' overlapping timelines on
+  separate tracks.
+
+:func:`load` inverts the mapping back into :class:`TraceEvent`
+records, which is what the round-trip tests and the
+``python -m repro.tools.trace`` CLI consume.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.trace.tracer import TraceEvent
+
+__all__ = ["to_chrome", "export", "load"]
+
+_SECONDS_TO_US = 1e6
+_RUN_PREFIX = re.compile(r"^run(\d+) (.*)$")
+
+
+def to_chrome(events: List[TraceEvent]) -> dict:
+    """Convert a tracer's event buffer into a Chrome trace dict."""
+    multi_run = any(ev.run != 0 for ev in events)
+    pid_ids: Dict[str, int] = {}
+    tid_ids: Dict[Tuple[int, str], int] = {}
+    meta: List[dict] = []
+    records: List[dict] = []
+
+    for ev in events:
+        plabel = f"run{ev.run} {ev.pid}" if multi_run else ev.pid
+        pid = pid_ids.get(plabel)
+        if pid is None:
+            pid = len(pid_ids) + 1
+            pid_ids[plabel] = pid
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": plabel},
+                }
+            )
+        tkey = (pid, ev.tid)
+        tid = tid_ids.get(tkey)
+        if tid is None:
+            tid = len(tid_ids) + 1
+            tid_ids[tkey] = tid
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": ev.tid},
+                }
+            )
+        rec = {
+            "ph": ev.ph,
+            "name": ev.name,
+            "cat": ev.cat or "default",
+            "ts": ev.ts * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur * _SECONDS_TO_US
+        if ev.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            rec["args"] = ev.args
+        records.append(rec)
+
+    return {"traceEvents": meta + records, "displayTimeUnit": "ms"}
+
+
+def export(events: List[TraceEvent], path: str) -> str:
+    """Write the Chrome trace JSON for *events* to *path*."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome(events), fh, default=_jsonable)
+        fh.write("\n")
+    return path
+
+
+def _jsonable(obj):
+    """Best-effort serialization for numpy scalars and odd arg values."""
+    for cast in (float, str):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def load(source: Union[str, dict]) -> List[TraceEvent]:
+    """Load a Chrome trace file (or parsed dict) back into TraceEvents.
+
+    Metadata events are consumed to restore the string pid/tid labels;
+    the ``run<N>`` prefix (written for multi-run traces) is parsed back
+    into the event's ``run`` field.
+    """
+    if isinstance(source, dict):
+        doc = source
+    else:
+        with open(source) as fh:
+            doc = json.load(fh)
+    raw = doc["traceEvents"] if isinstance(doc, dict) else doc
+
+    pnames: Dict[int, str] = {}
+    tnames: Dict[Tuple[int, int], str] = {}
+    for rec in raw:
+        if rec.get("ph") == "M":
+            if rec.get("name") == "process_name":
+                pnames[rec["pid"]] = rec["args"]["name"]
+            elif rec.get("name") == "thread_name":
+                tnames[(rec["pid"], rec["tid"])] = rec["args"]["name"]
+
+    events: List[TraceEvent] = []
+    for rec in raw:
+        ph = rec.get("ph")
+        if ph not in ("B", "E", "X", "i", "C"):
+            continue
+        plabel = pnames.get(rec["pid"], str(rec["pid"]))
+        run = 0
+        m = _RUN_PREFIX.match(plabel)
+        if m:
+            run = int(m.group(1))
+            plabel = m.group(2)
+        tlabel = tnames.get((rec["pid"], rec["tid"]), str(rec["tid"]))
+        events.append(
+            TraceEvent(
+                ph=ph,
+                name=rec.get("name", ""),
+                cat=rec.get("cat", ""),
+                ts=rec.get("ts", 0.0) / _SECONDS_TO_US,
+                pid=plabel,
+                tid=tlabel,
+                run=run,
+                dur=rec.get("dur", 0.0) / _SECONDS_TO_US,
+                args=rec.get("args"),
+            )
+        )
+    return events

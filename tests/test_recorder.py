@@ -59,6 +59,98 @@ class TestLoadRecorderMechanics:
         assert s["n_samples"] == rec.n_samples
 
 
+class TestStopAndRestart:
+    def test_stop_cancels_pending_wakeup(self):
+        """stop() must not leave the sampler parked on one more
+        timeout: the calendar drains immediately and no extra sample
+        lands an interval later."""
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m, interval=0.5)
+        rec.start()
+        m.env.run(until=1.6)  # samples at t=0, 0.5, 1.0, 1.5
+        n_before = rec.n_samples
+        rec.stop()
+        # The cancellation kick fires at the current instant; nothing
+        # remains at t=2.0 where the next sample would have landed.
+        assert m.env.peek() <= m.env.now
+        m.env.run()
+        assert m.env.now < 2.0  # clock never reached the next wakeup
+        assert rec.n_samples == n_before
+
+    def test_stop_is_idempotent(self):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m, interval=0.5)
+        rec.start()
+        m.env.run(until=1.0)
+        rec.stop()
+        rec.stop()  # second stop: no-op, no crash
+
+    def test_stop_before_first_wakeup(self):
+        """stop() immediately after start() — the sampler has not even
+        bootstrapped yet, so there is nothing suspended to interrupt."""
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m, interval=0.5)
+        rec.start()
+        rec.stop()
+        m.env.run()
+        assert rec.n_samples == 0
+
+    def test_restart_after_stop(self):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m, interval=0.25)
+        rec.start()
+        m.env.run(until=1.0)
+        rec.stop()
+        n_window1 = rec.n_samples
+        assert n_window1 >= 4
+        rec.start()  # resume: a fresh sampling window
+        m.env.run(until=2.0)
+        rec.stop()
+        assert rec.n_samples > n_window1
+        rec.clear()
+        assert rec.n_samples == 0
+
+
+class TestEdgeCases:
+    def test_empty_samples_errors_are_clear(self):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m)
+        for fn in (rec.inflow_matrix, rec.busy_fraction,
+                   rec.utilization_summary):
+            with pytest.raises(ValueError, match="no samples"):
+                fn()
+
+    def test_straggler_window_single_sample(self):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m, interval=0.5)
+        rec.start()
+        m.env.run(until=0.1)  # sample at t=0 only
+        rec.stop()
+        assert rec.n_samples == 1
+        assert rec.straggler_window() == 0.0
+
+    def test_straggler_window_never_used_osts(self):
+        """A machine that never writes: every sample is all-idle, so
+        no OST was ever used and the window is zero."""
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        rec = LoadRecorder(m, interval=0.5)
+        rec.start()
+        m.env.run(until=2.1)
+        rec.stop()
+        assert rec.n_samples >= 4
+        assert rec.straggler_window() == 0.0
+        assert rec.straggler_window(threshold=1.0) == 0.0
+
+    def test_straggler_window_threshold_one(self):
+        """threshold=1.0 counts every live sample where at least one
+        used OST is idle; it is bounded by the live span."""
+        rec, _ = record_run(AdaptiveTransport(), seed=4)
+        w_half = rec.straggler_window(0.5)
+        w_full = rec.straggler_window(1.0)
+        assert 0.0 <= w_half <= w_full
+        assert w_full <= rec.n_samples * rec.interval
+
+
 class TestBalanceStory:
     def test_adaptive_uses_more_targets_than_capped_mpiio(self):
         rec_a, _ = record_run(AdaptiveTransport(), seed=1)

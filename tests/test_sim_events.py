@@ -53,6 +53,40 @@ class TestEvent:
         assert isinstance(ev._value, EventAborted)
         assert ev._value.cause == "why"
 
+    def test_cancel_empties_calendar(self, env):
+        """Cancelling the only pending timeout leaves the calendar
+        empty — the clock never advances to the dead event's time."""
+        to = env.timeout(5.0)
+        to.cancel()
+        assert to.cancelled
+        assert env.peek() == float("inf")
+        env.run()
+        assert env.now == 0.0
+
+    def test_cancel_skips_callbacks_without_blocking_clock(self, env):
+        fired = []
+        dead = env.timeout(1.0)
+        dead.add_callback(lambda e: fired.append("dead"))
+        live = env.timeout(2.0)
+        live.add_callback(lambda e: fired.append("live"))
+        dead.cancel()
+        env.run()
+        assert fired == ["live"]
+        assert env.now == 2.0
+
+    def test_cancel_processed_event_rejected(self, env):
+        to = env.timeout(1.0)
+        env.run()
+        with pytest.raises(RuntimeError):
+            to.cancel()
+
+    def test_cancel_twice_is_noop(self, env):
+        to = env.timeout(1.0)
+        to.cancel()
+        to.cancel()
+        env.run()
+        assert env.now == 0.0
+
 
 class TestTimeout:
     def test_fires_at_delay(self, env):

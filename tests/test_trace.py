@@ -1,0 +1,268 @@
+"""End-to-end tests for the tracing subsystem.
+
+The headline round trip: run the adaptive protocol with tracing on,
+export the Chrome trace-event JSON, load it back, and check that the
+span structure is well-formed and that the protocol's steering
+decisions reference real OSTs.  Plus the negative: a disabled tracer
+records nothing and changes nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import AppKernel, Variable
+from repro.core.transports import AdaptiveTransport, MpiIoTransport
+from repro.machines import jaguar
+from repro.trace import (
+    Tracer,
+    check_well_formed,
+    get_active_tracer,
+    tracing,
+)
+from repro.trace import chrome
+from repro.trace.counters import PHASES, per_writer_counters, render_report
+from repro.units import MB
+
+N_RANKS = 16
+N_OSTS = 8
+PER_PROC_MB = 4.0
+
+
+def app():
+    return AppKernel(
+        "traced", [Variable("x", shape=(int(PER_PROC_MB * MB / 8),))]
+    )
+
+
+def traced_run(transport=None, tracer=None, seed=0):
+    m = jaguar(n_osts=N_OSTS).build(n_ranks=N_RANKS, seed=seed)
+    if tracer is not None:
+        m.attach_tracer(tracer)
+    t = transport or AdaptiveTransport(n_osts_used=N_OSTS)
+    res = t.run(m, app(), output_name="out")
+    return m, res
+
+
+class TestTracerCore:
+    def test_span_nesting_checker(self):
+        tr = Tracer()
+        tr.begin("a", cat="t", pid="p", tid="t1", ts=0.0)
+        tr.begin("b", cat="t", pid="p", tid="t1", ts=1.0)
+        tr.end("b", cat="t", pid="p", tid="t1", ts=2.0)
+        tr.end("a", cat="t", pid="p", tid="t1", ts=3.0)
+        assert check_well_formed(tr.events) == []
+
+    def test_checker_catches_improper_nesting(self):
+        tr = Tracer()
+        tr.begin("a", cat="t", pid="p", tid="t1", ts=0.0)
+        tr.begin("b", cat="t", pid="p", tid="t1", ts=1.0)
+        tr.end("a", cat="t", pid="p", tid="t1", ts=2.0)
+        problems = check_well_formed(tr.events)
+        assert problems and "improper nesting" in problems[0]
+
+    def test_checker_catches_unclosed_and_orphan(self):
+        tr = Tracer()
+        tr.begin("a", cat="t", pid="p", tid="t1", ts=0.0)
+        tr.end("z", cat="t", pid="p", tid="t2", ts=1.0)
+        problems = check_well_formed(tr.events)
+        assert any("never closed" in p for p in problems)
+        assert any("no open span" in p for p in problems)
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.begin("a", cat="t", pid="p", tid="t")
+        tr.instant("i", cat="t", pid="p", tid="t")
+        tr.counter("c", pid="p", values={"v": 1.0})
+        with tr.span("s", cat="t", pid="p", tid="t"):
+            pass
+        assert len(tr) == 0
+
+    def test_active_tracer_scoping(self):
+        assert get_active_tracer() is None
+        tr = Tracer()
+        with tracing(tr):
+            assert get_active_tracer() is tr
+        assert get_active_tracer() is None
+
+
+class TestAdaptiveRoundTrip:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        tr = Tracer()
+        m, res = traced_run(tracer=tr)
+        path = tmp_path_factory.mktemp("trace") / "trace.json"
+        chrome.export(tr.events, str(path))
+        return tr, m, res, path
+
+    def test_trace_has_all_layers(self, traced):
+        tr, _, _, _ = traced
+        cats = {ev.cat for ev in tr.events}
+        assert {"ost", "fabric", "mpi", "writer", "steer"} <= cats
+
+    def test_export_is_valid_chrome_json(self, traced):
+        _, _, _, path = traced
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        phases = {rec["ph"] for rec in doc["traceEvents"]}
+        assert {"M", "B", "E", "i", "C", "X"} <= phases
+        # every non-metadata record references a named process track
+        pids = {
+            rec["pid"]
+            for rec in doc["traceEvents"]
+            if rec["ph"] == "M" and rec["name"] == "process_name"
+        }
+        for rec in doc["traceEvents"]:
+            if rec["ph"] != "M":
+                assert rec["pid"] in pids
+
+    def test_round_trip_is_well_formed(self, traced):
+        tr, _, _, path = traced
+        loaded = chrome.load(str(path))
+        assert len(loaded) == len(tr.events)
+        assert check_well_formed(loaded) == []
+
+    def test_round_trip_preserves_labels_and_times(self, traced):
+        tr, _, _, path = traced
+        loaded = chrome.load(str(path))
+        for orig, back in zip(tr.events, loaded):
+            assert back.ph == orig.ph
+            assert back.name == orig.name
+            assert back.pid == orig.pid
+            assert back.tid == orig.tid
+            assert back.ts == pytest.approx(orig.ts, abs=1e-9)
+
+    def test_steering_events_reference_real_osts(self, traced):
+        tr, m, _, _ = traced
+        starts = [
+            ev for ev in tr.events if ev.name == "ADAPTIVE_WRITE_START"
+        ]
+        assert starts, "adaptive run recorded no ADAPTIVE_WRITE_START"
+        for ev in starts:
+            ost = ev.args["target_ost"]
+            assert 0 <= ost < m.n_osts
+
+    def test_writer_spans_on_node_tracks(self, traced):
+        tr, m, _, _ = traced
+        writer_evs = [ev for ev in tr.events if ev.cat == "writer"]
+        ranks = {ev.tid for ev in writer_evs}
+        assert ranks == {f"rank {r}" for r in range(N_RANKS)}
+        for ev in writer_evs:
+            assert ev.pid.startswith("node/")
+
+    def test_ost_service_spans_cover_every_used_ost(self, traced):
+        tr, _, _, _ = traced
+        served = {
+            ev.pid for ev in tr.events if ev.name == "ost.service"
+        }
+        assert len(served) == N_OSTS  # adaptive uses all targets
+
+
+class TestCounters:
+    def test_per_writer_bytes_match_app(self):
+        tr = Tracer()
+        _, res = traced_run(tracer=tr)
+        counters = per_writer_counters(tr.events)
+        assert len(counters) == N_RANKS
+        total = sum(wc.bytes_written for wc in counters)
+        assert total == pytest.approx(N_RANKS * PER_PROC_MB * MB)
+        for wc in counters:
+            assert wc.write_count >= 1
+            assert wc.total_time > 0
+            assert wc.slowest_phase in PHASES
+            assert set(wc.time) == set(PHASES)
+
+    def test_adaptive_writes_counted(self):
+        import numpy as np
+
+        tr = Tracer()
+        # One slow target + writers outnumbering targets: the
+        # coordinator must steer, and every steered write shows up in
+        # the trace with the adaptive flag.
+        m = jaguar(n_osts=8).build(n_ranks=64, seed=3)
+        m.fs.max_stripe_count = 2
+        m.pool.set_load_multiplier(0.1, osts=np.array([0]))
+        m.attach_tracer(tr)
+        res = AdaptiveTransport().run(m, app(), output_name="out")
+        assert res.n_adaptive_writes > 0
+        counters = per_writer_counters(tr.events)
+        assert (
+            sum(wc.adaptive_writes for wc in counters)
+            == res.n_adaptive_writes
+        )
+
+    def test_report_renders(self):
+        tr = Tracer()
+        traced_run(tracer=tr)
+        counters = per_writer_counters(tr.events)
+        full = render_report(counters)
+        assert "# run 0:" in full
+        assert "rank 0" in full and f"rank {N_RANKS - 1}" in full
+        trimmed = render_report(counters, top=5)
+        assert "more writers" in trimmed  # 16 writers, top 5 shown
+
+    def test_mpiio_writers_have_no_wait_phase_spans(self):
+        tr = Tracer()
+        _, res = traced_run(
+            transport=MpiIoTransport(build_index=False), tracer=tr
+        )
+        counters = per_writer_counters(tr.events)
+        assert counters
+        # no coordinator in MPI-IO: wait time only from the offset
+        # exchange, index disabled entirely
+        assert all(wc.time["index"] == 0.0 for wc in counters)
+
+
+class TestDisabledTracing:
+    def test_run_identical_with_and_without_tracer(self):
+        _, res_plain = traced_run(seed=7)
+        tr = Tracer()
+        _, res_traced = traced_run(tracer=tr, seed=7)
+        off = Tracer(enabled=False)
+        _, res_off = traced_run(tracer=off, seed=7)
+        assert len(tr.events) > 0
+        assert len(off.events) == 0
+        assert res_traced.reported_time == res_plain.reported_time
+        assert res_off.reported_time == res_plain.reported_time
+        assert (
+            res_traced.aggregate_bandwidth == res_plain.aggregate_bandwidth
+        )
+
+    def test_untraced_env_has_no_tracer(self):
+        m, _ = traced_run(seed=3)
+        assert m.env.tracer is None
+
+
+class TestMultiRun:
+    def test_runs_separate_in_export(self, tmp_path):
+        tr = Tracer()
+        traced_run(tracer=tr, seed=0)
+        traced_run(tracer=tr, seed=1)
+        runs = {ev.run for ev in tr.events}
+        assert runs == {0, 1}
+        path = tmp_path / "multi.json"
+        chrome.export(tr.events, str(path))
+        loaded = chrome.load(str(path))
+        assert {ev.run for ev in loaded} == {0, 1}
+        assert check_well_formed(loaded) == []
+        counters = per_writer_counters(loaded)
+        assert len(counters) == 2 * N_RANKS
+
+
+class TestCli:
+    def test_trace_cli_summary_and_check(self, tmp_path, capsys):
+        from repro.tools.trace import main
+
+        tr = Tracer()
+        traced_run(tracer=tr)
+        path = tmp_path / "trace.json"
+        chrome.export(tr.events, str(path))
+
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "rank 0" in out
+
+        assert main([str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "span nesting: OK" in out
