@@ -9,39 +9,54 @@ coordinator's message traffic stays ~flat, while the per-SC traffic
 grows with its group size (each of its writers reports to it).
 """
 
+from functools import partial
+
 import pytest
 
 from repro.apps.pixie3d import pixie3d
 from repro.core.transports import AdaptiveTransport
+from repro.harness.experiment import n_samples_override
+from repro.harness.parallel import parallel_map
 from repro.harness.report import format_table
 from repro.machines import jaguar
 
 _SCALES = {
     "smoke": dict(n_osts=8, writer_counts=(16, 64), samples=1),
-    "small": dict(n_osts=32, writer_counts=(64, 256, 1024), samples=2),
+    "small": dict(n_osts=32, writer_counts=(64, 256, 1024), samples=3),
     "paper": dict(n_osts=512, writer_counts=(1024, 4096, 16384),
                   samples=3),
 }
 
 
+def _one_sample(n_writers, cfg, seed):
+    machine = jaguar(n_osts=cfg["n_osts"]).build(
+        n_ranks=n_writers, seed=seed
+    )
+    res = AdaptiveTransport().run(
+        machine, pixie3d("small"), output_name="abl"
+    )
+    return (
+        res.coordinator_messages,
+        res.messages_sent,
+        res.n_adaptive_writes,
+    )
+
+
 @pytest.mark.benchmark(group="ablation-message-load")
 def test_ablation_coordinator_message_load(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
+    n_samples = n_samples_override(cfg["samples"])
 
     def sweep():
         out = {}
         for n in cfg["writer_counts"]:
-            coord_msgs, total_msgs, adaptive_ct = [], [], []
-            for s in range(cfg["samples"]):
-                machine = jaguar(n_osts=cfg["n_osts"]).build(
-                    n_ranks=n, seed=4000 + s
-                )
-                res = AdaptiveTransport().run(
-                    machine, pixie3d("small"), output_name="abl"
-                )
-                coord_msgs.append(res.coordinator_messages)
-                total_msgs.append(res.messages_sent)
-                adaptive_ct.append(res.n_adaptive_writes)
+            samples = parallel_map(
+                partial(_one_sample, n, cfg),
+                [4000 + s for s in range(n_samples)],
+            )
+            coord_msgs = [c for c, _, _ in samples]
+            total_msgs = [t for _, t, _ in samples]
+            adaptive_ct = [a for _, _, a in samples]
             out[n] = (
                 sum(coord_msgs) / len(coord_msgs),
                 sum(total_msgs) / len(total_msgs),
@@ -64,6 +79,18 @@ def test_ablation_coordinator_message_load(benchmark, scale, save_result):
                 f"({cfg['n_osts']} targets)"
             ),
         ),
+        data={
+            "config": {**cfg, "samples": n_samples},
+            "by_writer_count": {
+                str(n): {
+                    "coordinator_messages": c,
+                    "total_messages": t,
+                    "steered_writes": a,
+                    "messages_per_writer": t / n,
+                }
+                for n, (c, t, a) in out.items()
+            },
+        },
     )
 
     counts = list(cfg["writer_counts"])

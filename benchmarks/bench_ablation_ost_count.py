@@ -7,11 +7,15 @@ the structural win comes from; beyond that, more targets help until
 each group has ~1 writer.
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.apps.pixie3d import pixie3d
 from repro.core.transports import AdaptiveTransport
+from repro.harness.experiment import n_samples_override
+from repro.harness.parallel import parallel_map
 from repro.harness.report import format_table
 from repro.machines import jaguar
 
@@ -24,22 +28,28 @@ _SCALES = {
 }
 
 
+def _one_sample(n_osts, cfg, seed):
+    machine = jaguar(n_osts=cfg["pool"]).build(
+        n_ranks=cfg["n_ranks"], seed=seed
+    )
+    res = AdaptiveTransport(n_osts_used=n_osts).run(
+        machine, pixie3d("large"), output_name="abl"
+    )
+    return res.aggregate_bandwidth
+
+
 @pytest.mark.benchmark(group="ablation-ost-count")
 def test_ablation_ost_count(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
+    n_samples = n_samples_override(cfg["samples"])
 
     def sweep():
         out = {}
         for n_osts in cfg["counts"]:
-            bws = []
-            for s in range(cfg["samples"]):
-                machine = jaguar(n_osts=cfg["pool"]).build(
-                    n_ranks=cfg["n_ranks"], seed=3000 + s
-                )
-                res = AdaptiveTransport(n_osts_used=n_osts).run(
-                    machine, pixie3d("large"), output_name="abl"
-                )
-                bws.append(res.aggregate_bandwidth)
+            bws = parallel_map(
+                partial(_one_sample, n_osts, cfg),
+                [3000 + s for s in range(n_samples)],
+            )
             out[n_osts] = float(np.mean(bws))
         return out
 
@@ -55,6 +65,12 @@ def test_ablation_ost_count(benchmark, scale, save_result):
                 f"({cfg['n_ranks']} procs, pool {cfg['pool']})"
             ),
         ),
+        data={
+            "config": {**cfg, "samples": n_samples},
+            "mean_bandwidth_by_targets": {
+                str(k): bw for k, bw in out.items()
+            },
+        },
     )
 
     counts = list(cfg["counts"])

@@ -11,6 +11,8 @@ Expected ordering under external interference:
 nor does it address external interference."
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,8 @@ from repro.core.transports import (
     MpiIoTransport,
     SplitFilesTransport,
 )
+from repro.harness.experiment import n_samples_override
+from repro.harness.parallel import parallel_map
 from repro.harness.report import format_table
 from repro.interference import install_production_noise
 from repro.machines import jaguar
@@ -31,30 +35,39 @@ _SCALES = {
 }
 
 
+def _make_transport(method_name, cfg):
+    if method_name == "mpiio":
+        return MpiIoTransport(build_index=False)
+    if method_name == "splitfiles":
+        return SplitFilesTransport(build_index=False)
+    return AdaptiveTransport(n_osts_used=cfg["pool"])
+
+
+def _one_sample(method_name, cfg, seed):
+    spec = jaguar(n_osts=cfg["pool"]).with_overrides(
+        max_stripe_count=cfg["cap"]
+    )
+    machine = spec.build(n_ranks=cfg["n_ranks"], seed=seed)
+    install_production_noise(machine, live=True)
+    res = _make_transport(method_name, cfg).run(
+        machine, pixie3d("large"), output_name="abl"
+    )
+    return res.aggregate_bandwidth
+
+
 @pytest.mark.benchmark(group="ablation-split-files")
 def test_ablation_split_files(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
-    methods = {
-        "mpiio": lambda: MpiIoTransport(build_index=False),
-        "splitfiles": lambda: SplitFilesTransport(build_index=False),
-        "adaptive": lambda: AdaptiveTransport(n_osts_used=cfg["pool"]),
-    }
+    n_samples = n_samples_override(cfg["samples"])
+    methods = ("mpiio", "splitfiles", "adaptive")
 
     def sweep():
         out = {}
-        for name, factory in methods.items():
-            bws = []
-            for s in range(cfg["samples"]):
-                spec = jaguar(n_osts=cfg["pool"]).with_overrides(
-                    max_stripe_count=cfg["cap"]
-                )
-                machine = spec.build(n_ranks=cfg["n_ranks"],
-                                     seed=5000 + s)
-                install_production_noise(machine, live=True)
-                res = factory().run(
-                    machine, pixie3d("large"), output_name="abl"
-                )
-                bws.append(res.aggregate_bandwidth)
+        for name in methods:
+            bws = parallel_map(
+                partial(_one_sample, name, cfg),
+                [5000 + s for s in range(n_samples)],
+            )
             out[name] = float(np.mean(bws))
         return out
 
@@ -71,6 +84,10 @@ def test_ablation_split_files(benchmark, scale, save_result):
                 f"stripe cap {cfg['cap']}, production noise)"
             ),
         ),
+        data={
+            "config": {**cfg, "samples": n_samples},
+            "mean_bandwidth_by_method": dict(out),
+        },
     )
 
     assert out["splitfiles"] > out["mpiio"], (

@@ -14,11 +14,15 @@ full adaptive steers that group's writers elsewhere and wins.  This is
 the paper's core delta over its own prior work (CUG'09 stagger).
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.apps.pixie3d import pixie3d
 from repro.core.transports import AdaptiveTransport, StaggerTransport
+from repro.harness.experiment import n_samples_override
+from repro.harness.parallel import parallel_map
 from repro.harness.report import format_table
 from repro.machines import jaguar
 
@@ -29,12 +33,21 @@ _SCALES = {
 }
 
 
-def _run(method_name, transport, seed, cfg):
+def _make_transport(method_name):
+    if method_name == "stagger":
+        return StaggerTransport()
+    if method_name == "adaptive-nosteer":
+        return AdaptiveTransport(steering=False)
+    return AdaptiveTransport()
+
+
+def _run(method_name, cfg, seed):
     machine = jaguar(n_osts=cfg["n_osts"]).build(
         n_ranks=cfg["n_ranks"], seed=seed
     )
     # One very slow target: e.g. an analysis cluster hammering it.
     machine.pool.set_load_multiplier(0.08, osts=np.array([0]))
+    transport = _make_transport(method_name)
     res = transport.run(machine, pixie3d("large"), output_name="abl")
     return res.reported_time, res.aggregate_bandwidth
 
@@ -42,19 +55,16 @@ def _run(method_name, transport, seed, cfg):
 @pytest.mark.benchmark(group="ablation-stagger")
 def test_ablation_steering_vs_serialization(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
-    methods = {
-        "stagger": lambda: StaggerTransport(),
-        "adaptive-nosteer": lambda: AdaptiveTransport(steering=False),
-        "adaptive": lambda: AdaptiveTransport(),
-    }
+    n_samples = n_samples_override(cfg["samples"])
+    methods = ("stagger", "adaptive-nosteer", "adaptive")
 
     def sweep():
         out = {}
-        for name, factory in methods.items():
-            times = [
-                _run(name, factory(), 1000 + s, cfg)
-                for s in range(cfg["samples"])
-            ]
+        for name in methods:
+            times = parallel_map(
+                partial(_run, name, cfg),
+                [1000 + s for s in range(n_samples)],
+            )
             out[name] = (
                 float(np.mean([t for t, _ in times])),
                 float(np.mean([b for _, b in times])),
@@ -76,6 +86,13 @@ def test_ablation_steering_vs_serialization(benchmark, scale, save_result):
                 "one target at 8% speed)"
             ),
         ),
+        data={
+            "config": {**cfg, "samples": n_samples},
+            "methods": {
+                name: {"mean_time": t, "mean_bandwidth": bw}
+                for name, (t, bw) in out.items()
+            },
+        },
     )
 
     t_stagger, _ = out["stagger"]

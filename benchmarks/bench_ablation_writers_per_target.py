@@ -10,11 +10,15 @@ serialization — and heavy concurrency recreates the internal
 interference the method exists to avoid.
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.apps.pixie3d import pixie3d
 from repro.core.transports import AdaptiveTransport
+from repro.harness.experiment import n_samples_override
+from repro.harness.parallel import parallel_map
 from repro.harness.report import format_table
 from repro.machines import jaguar
 
@@ -26,22 +30,28 @@ _SCALES = {
 }
 
 
+def _one_sample(fanout, cfg, seed):
+    machine = jaguar(n_osts=cfg["n_osts"]).build(
+        n_ranks=cfg["n_ranks"], seed=seed
+    )
+    res = AdaptiveTransport(writers_per_target=fanout).run(
+        machine, pixie3d("large"), output_name="abl"
+    )
+    return res.aggregate_bandwidth
+
+
 @pytest.mark.benchmark(group="ablation-writers-per-target")
 def test_ablation_writers_per_target(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
+    n_samples = n_samples_override(cfg["samples"])
 
     def sweep():
         out = {}
         for k in cfg["fanouts"]:
-            bws = []
-            for s in range(cfg["samples"]):
-                machine = jaguar(n_osts=cfg["n_osts"]).build(
-                    n_ranks=cfg["n_ranks"], seed=2000 + s
-                )
-                res = AdaptiveTransport(writers_per_target=k).run(
-                    machine, pixie3d("large"), output_name="abl"
-                )
-                bws.append(res.aggregate_bandwidth)
+            bws = parallel_map(
+                partial(_one_sample, k, cfg),
+                [2000 + s for s in range(n_samples)],
+            )
             out[k] = float(np.mean(bws))
         return out
 
@@ -57,6 +67,12 @@ def test_ablation_writers_per_target(benchmark, scale, save_result):
                 f"({cfg['n_ranks']} procs, {cfg['n_osts']} OSTs, quiet)"
             ),
         ),
+        data={
+            "config": {**cfg, "samples": n_samples},
+            "mean_bandwidth_by_fanout": {
+                str(k): bw for k, bw in out.items()
+            },
+        },
     )
 
     fanouts = list(cfg["fanouts"])

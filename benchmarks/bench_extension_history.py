@@ -85,6 +85,17 @@ def test_extension_history_aware(benchmark, scale, save_result):
                 f"{len(cfg['slow'])} slow)"
             ),
         ),
+        data={
+            "config": dict(cfg),
+            "campaigns": {
+                f"{method}/{cond}": {
+                    "step_times": [float(t) for t in times],
+                    "mean": float(np.mean(times)),
+                    "mean_after_warmup": float(np.mean(times[1:])),
+                }
+                for (method, cond), times in out.items()
+            },
+        },
     )
 
     if scale.value == "smoke":

@@ -15,11 +15,15 @@ interference to avoid.  Adaptive IO is a remedy for contention, not a
 universal accelerator.
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.apps.pixie3d import pixie3d
 from repro.core.transports import AdaptiveTransport, MpiIoTransport
+from repro.harness.experiment import n_samples_override
+from repro.harness.parallel import parallel_map
 from repro.harness.report import format_table
 from repro.interference import install_production_noise
 from repro.machines import bluegene_p, franklin, jaguar, xtp
@@ -55,35 +59,39 @@ def _machines(scale_div):
     }
 
 
+def _one_sample(machine_name, scale_div, seed):
+    """Adaptive/MPI-IO speedup for one machine at one seed.
+
+    Module-level (resolving the machine spec by name) so the parallel
+    executor can pickle a partial of it.
+    """
+    spec_factory, n_ranks, ad_osts = _machines(scale_div)[machine_name]
+    bw = {}
+    for method in ("mpiio", "adaptive"):
+        machine = spec_factory().build(n_ranks=n_ranks, seed=seed)
+        install_production_noise(machine, live=True)
+        transport = (
+            AdaptiveTransport(n_osts_used=ad_osts)
+            if method == "adaptive"
+            else MpiIoTransport(build_index=False)
+        )
+        res = transport.run(machine, pixie3d("large"), output_name="ext")
+        bw[method] = res.aggregate_bandwidth
+    return bw["adaptive"] / bw["mpiio"]
+
+
 @pytest.mark.benchmark(group="extension-machines")
 def test_extension_other_machines(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
+    n_samples = n_samples_override(cfg["samples"])
 
     def sweep():
         out = {}
-        for name, (spec_factory, n_ranks, ad_osts) in _machines(
-            cfg["scale_div"]
-        ).items():
-            speedups = []
-            for s in range(cfg["samples"]):
-                mpi_bw, ad_bw = [], []
-                for method in ("mpiio", "adaptive"):
-                    machine = spec_factory().build(
-                        n_ranks=n_ranks, seed=6000 + s
-                    )
-                    install_production_noise(machine, live=True)
-                    transport = (
-                        AdaptiveTransport(n_osts_used=ad_osts)
-                        if method == "adaptive"
-                        else MpiIoTransport(build_index=False)
-                    )
-                    res = transport.run(
-                        machine, pixie3d("large"), output_name="ext"
-                    )
-                    (ad_bw if method == "adaptive" else mpi_bw).append(
-                        res.aggregate_bandwidth
-                    )
-                speedups.append(ad_bw[0] / mpi_bw[0])
+        for name in _machines(cfg["scale_div"]):
+            speedups = parallel_map(
+                partial(_one_sample, name, cfg["scale_div"]),
+                [6000 + s for s in range(n_samples)],
+            )
             out[name] = float(np.mean(speedups))
         return out
 
@@ -99,6 +107,10 @@ def test_extension_other_machines(benchmark, scale, save_result):
                 "(Pixie3D large, production noise)"
             ),
         ),
+        data={
+            "config": {**cfg, "samples": n_samples},
+            "speedup_by_machine": dict(out),
+        },
     )
 
     # Stripe-capped Lustre under production noise: the paper's regime.

@@ -19,7 +19,9 @@ def test_fig1_internal_interference(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: fig1.run(scale, base_seed=0), rounds=1, iterations=1
     )
-    save_result("fig1_internal", result.render())
+    save_result(
+        "fig1_internal", result.render(), data=result.to_dict()
+    )
 
     large_sizes = [s for s in result.sizes_mb if s >= 128]
     for size in large_sizes:

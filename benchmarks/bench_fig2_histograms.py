@@ -15,7 +15,9 @@ def test_fig2_bandwidth_histograms(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: fig2.run(scale, base_seed=0), rounds=1, iterations=1
     )
-    save_result("fig2_histograms", result.render())
+    save_result(
+        "fig2_histograms", result.render(), data=result.to_dict()
+    )
 
     if scale.value != "smoke":
         tight = result.relative_spread("xtp_without_int")

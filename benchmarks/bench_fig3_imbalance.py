@@ -16,7 +16,9 @@ def test_fig3_writer_imbalance(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: fig3.run(scale, base_seed=0), rounds=1, iterations=1
     )
-    save_result("fig3_imbalance", result.render())
+    save_result(
+        "fig3_imbalance", result.render(), data=result.to_dict()
+    )
 
     assert result.imbalance_test1 >= 1.0
     assert result.imbalance_test2 >= 1.0

@@ -15,7 +15,9 @@ def test_table1_external_variability(benchmark, scale, save_result):
     result = benchmark.pedantic(
         lambda: table1.run(scale, base_seed=0), rounds=1, iterations=1
     )
-    save_result("table1_external", result.render())
+    save_result(
+        "table1_external", result.render(), data=result.to_dict()
+    )
 
     jag = result.cov_percent("jaguar")
     fra = result.cov_percent("franklin")

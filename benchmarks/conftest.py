@@ -67,6 +67,16 @@ def pytest_addoption(parser):
         help="export a Chrome trace-event JSON of every simulation run "
         "in this benchmark session (alias of --trace)",
     )
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sample fan-out inside each benchmark "
+        "(0 = all cores; default: REPRO_JOBS, else serial).  Results "
+        "are bit-identical to serial runs",
+    )
 
 
 def _trace_path(config) -> "str | None":
@@ -78,6 +88,11 @@ def _trace_path(config) -> "str | None":
 
 
 def pytest_configure(config):
+    jobs = config.getoption("--jobs")
+    if jobs is not None:
+        import os
+
+        os.environ["REPRO_JOBS"] = str(jobs)
     # If --trace carried a path, make sure pytest's debugging plugin
     # never sees it as a truthy "break into pdb" request.
     if isinstance(getattr(config.option, "trace", None), str):

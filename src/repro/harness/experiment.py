@@ -9,6 +9,7 @@ from typing import Callable, List, TypeVar
 
 __all__ = [
     "Scale",
+    "n_samples_override",
     "run_samples",
     "scale_from_env",
     "sample_seed",
@@ -48,19 +49,41 @@ def sample_seed(base_seed: int, sample: int) -> int:
     return base_seed * 1_000_003 + sample
 
 
+def n_samples_override(default: int) -> int:
+    """Sample count for a sweep cell: ``REPRO_SAMPLES`` or *default*.
+
+    Lets a caller raise (or lower) every preset's per-cell sample
+    count without touching the scale — e.g. regenerate smoke-scale
+    artifacts with real error bars via ``REPRO_SAMPLES=3``.
+    """
+    env = os.environ.get("REPRO_SAMPLES", "").strip()
+    if not env:
+        return default
+    n = int(env)
+    if n < 1:
+        raise ValueError(f"REPRO_SAMPLES must be >= 1, got {n}")
+    return n
+
+
 def run_samples(
     fn: Callable[[int], T],
     n_samples: int,
     base_seed: int = 0,
+    jobs: "int | None" = None,
 ) -> List[T]:
     """Run ``fn(seed)`` for each of *n_samples* derived seeds.
 
     Every sample builds its own machine from its seed, so samples are
-    statistically independent and individually reproducible.
+    statistically independent, individually reproducible — and safe to
+    fan out over worker processes: with ``jobs`` (or ``REPRO_JOBS``)
+    above 1 this delegates to :mod:`repro.harness.parallel`, whose
+    results are bit-for-bit identical to serial execution.  *fn* must
+    then be picklable (module-level function or ``functools.partial``);
+    anything else falls back to serial with a ``RuntimeWarning``.
     """
-    if n_samples < 1:
-        raise ValueError("n_samples must be >= 1")
-    return [fn(sample_seed(base_seed, i)) for i in range(n_samples)]
+    from repro.harness.parallel import run_samples as _parallel_run_samples
+
+    return _parallel_run_samples(fn, n_samples, base_seed, jobs=jobs)
 
 
 @contextmanager

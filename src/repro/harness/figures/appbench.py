@@ -17,14 +17,15 @@ protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from repro.apps.base import AppKernel
 from repro.core.transports import AdaptiveTransport, MpiIoTransport
-from repro.harness.experiment import Scale, run_samples
+from repro.harness.experiment import Scale, n_samples_override, run_samples
 from repro.harness.report import format_table
 from repro.interference import (
     BackgroundWriterJob,
@@ -231,6 +232,9 @@ def sweep_app(
 ) -> SweepResult:
     """Run the full transport x condition x scale sweep for one app."""
     cfg = preset_for(scale)
+    n_eff = n_samples_override(cfg.n_samples)
+    if n_eff != cfg.n_samples:
+        cfg = replace(cfg, n_samples=n_eff)
     app = app_factory()
     result = SweepResult(
         app_name=app.name,
@@ -240,10 +244,11 @@ def sweep_app(
     for n_procs in cfg.proc_counts:
         for cond in conditions:
             for tname in TRANSPORTS:
+                # partial over the module-level cell runner keeps the
+                # sample fn picklable for the parallel executor; the
+                # derived seed arrives as the remaining positional arg.
                 samples = run_samples(
-                    lambda s, _t=tname, _c=cond, _n=n_procs: _run_cell(
-                        app, _t, _c, _n, s, cfg
-                    ),
+                    partial(_run_cell, app, tname, cond, n_procs, cfg=cfg),
                     cfg.n_samples,
                     base_seed,
                 )

@@ -12,11 +12,12 @@ bandwidth.  Both come from one sweep here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.harness.experiment import Scale, run_samples
+from repro.harness.experiment import Scale, n_samples_override, run_samples
 from repro.harness.report import format_table
 from repro.interference import install_production_noise
 from repro.interference.markov import global_chain, per_ost_chain
@@ -121,50 +122,82 @@ class Fig1Result:
         peak = int(np.argmax(means))
         return peak < len(means) - 1 and means[-1] < means[peak]
 
+    def to_dict(self) -> Dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        cells = []
+        for size in self.sizes_mb:
+            for ratio in self.ratios:
+                n = ratio * self.n_osts
+                agg = self.aggregate_stats(size, n)
+                per = self.per_writer_stats(size, n)
+                cells.append(
+                    {
+                        "size_mb": size,
+                        "n_writers": n,
+                        "writers_per_ost": ratio,
+                        "aggregate_mean": agg.mean,
+                        "aggregate_std": agg.std,
+                        "aggregate_min": agg.minimum,
+                        "aggregate_max": agg.maximum,
+                        "per_writer_mean": per.mean,
+                        "per_writer_std": per.std,
+                        "samples": list(self.aggregate[(size, n)]),
+                    }
+                )
+        return {
+            "n_osts": self.n_osts,
+            "ratios": list(self.ratios),
+            "sizes_mb": list(self.sizes_mb),
+            "cells": cells,
+        }
+
+
+def _one_cell(n_writers: int, size_mb: int, n_osts: int, seed: int) -> Tuple:
+    """One seeded IOR run for one (size, writer-count) cell.
+
+    Module-level so the parallel executor can pickle a partial of it.
+    """
+    machine = jaguar(n_osts=n_osts).build(n_ranks=n_writers, seed=seed)
+    # The paper's probes ran on the production machine at relatively
+    # quiet times — mild ambient load supplies Fig. 1's error bars
+    # without drowning the internal-interference signal.
+    install_production_noise(
+        machine,
+        preset=NoisePreset(per_ost_chain(), global_chain(), intensity=0.25),
+        live=False,
+    )
+    res = run_ior(
+        machine,
+        IorConfig(
+            n_writers=n_writers,
+            block_size=size_mb * MB,
+            api="posix",
+            n_osts_used=n_osts,
+        ),
+    )
+    return (
+        res.write_bandwidth,
+        float(res.per_writer_bandwidths.mean()),
+    )
+
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig1Result:
     """Run the Fig. 1 sweep at the given scale preset."""
     preset = _PRESETS[Scale.parse(scale)]
     n_osts = preset["n_osts"]
+    n_samples = n_samples_override(preset["n_samples"])
     result = Fig1Result(
         n_osts=n_osts,
         ratios=tuple(preset["ratios"]),
         sizes_mb=tuple(preset["sizes_mb"]),
     )
-    spec = jaguar(n_osts=n_osts)
     for size_mb in result.sizes_mb:
         for ratio in result.ratios:
             n_writers = ratio * n_osts
-
-            def one_sample(seed: int, _n=n_writers, _s=size_mb) -> Tuple:
-                machine = spec.build(n_ranks=_n, seed=seed)
-                # The paper's probes ran on the production machine at
-                # relatively quiet times — mild ambient load supplies
-                # Fig. 1's error bars without drowning the internal-
-                # interference signal.
-                install_production_noise(
-                    machine,
-                    preset=NoisePreset(
-                        per_ost_chain(), global_chain(), intensity=0.25
-                    ),
-                    live=False,
-                )
-                res = run_ior(
-                    machine,
-                    IorConfig(
-                        n_writers=_n,
-                        block_size=_s * MB,
-                        api="posix",
-                        n_osts_used=n_osts,
-                    ),
-                )
-                return (
-                    res.write_bandwidth,
-                    float(res.per_writer_bandwidths.mean()),
-                )
-
             samples = run_samples(
-                one_sample, preset["n_samples"], base_seed
+                partial(_one_cell, n_writers, size_mb, n_osts),
+                n_samples,
+                base_seed,
             )
             result.aggregate[(size_mb, n_writers)] = [s[0] for s in samples]
             result.per_writer[(size_mb, n_writers)] = [s[1] for s in samples]

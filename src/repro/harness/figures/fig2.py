@@ -54,6 +54,20 @@ class Fig2Result:
         mean = float((centers * weights).sum())
         return (hi - lo) / mean if mean > 0 else float("inf")
 
+    def to_dict(self) -> Dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        return {
+            "histograms": {
+                cond: {
+                    "edges": [float(e) for e in h.edges],
+                    "counts": [int(c) for c in h.counts],
+                    "relative_spread": self.relative_spread(cond),
+                }
+                for cond, h in self.histograms.items()
+            },
+            "source": self.source.to_dict(),
+        }
+
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig2Result:
     source = _table1.run(scale, base_seed)

@@ -14,11 +14,12 @@ three minutes apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from functools import partial
+from typing import Dict, List
 
 import numpy as np
 
-from repro.harness.experiment import Scale, run_samples
+from repro.harness.experiment import Scale, n_samples_override, run_samples
 from repro.harness.report import format_table
 from repro.interference import install_production_noise
 from repro.ior import IorConfig, run_ior
@@ -73,6 +74,27 @@ class Fig3Result:
             f"{self.mean_imbalance:.2f} (paper: 4.07)"
         )
 
+    def to_dict(self) -> Dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        return {
+            "test1": {
+                "n_writers": self.test1.n_writers,
+                "fastest": self.test1.fastest,
+                "slowest": self.test1.slowest,
+                "imbalance": self.imbalance_test1,
+            },
+            "test2": {
+                "n_writers": self.test2.n_writers,
+                "fastest": self.test2.fastest,
+                "slowest": self.test2.slowest,
+                "imbalance": self.imbalance_test2,
+            },
+            "mean_imbalance": self.mean_imbalance,
+            "all_imbalance_factors": [
+                float(f) for f in self.all_imbalance_factors
+            ],
+        }
+
 
 def _one_pair(seed: int, n_osts: int):
     """Two probes three minutes apart on one live machine."""
@@ -100,8 +122,8 @@ def _sleep(env, seconds: float):
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig3Result:
     preset = _PRESETS[Scale.parse(scale)]
     pairs = run_samples(
-        lambda s: _one_pair(s, preset["n_osts"]),
-        preset["n_pairs"],
+        partial(_one_pair, n_osts=preset["n_osts"]),
+        n_samples_override(preset["n_pairs"]),
         base_seed,
     )
     factors: List[float] = []

@@ -44,6 +44,15 @@ class Fig5Result:
         n = sweep.config.proc_counts[-1]
         return sweep.speedup("base", n)
 
+    def to_dict(self) -> Dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        return {
+            "panels": {m: s.to_dict() for m, s in self.panels.items()},
+            "headline_speedups": {
+                m: self.headline_speedup(m) for m in self.panels
+            },
+        }
+
 
 def run(
     scale: "Scale | str" = Scale.SMALL,

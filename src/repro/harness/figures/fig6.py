@@ -34,6 +34,13 @@ class Fig6Result:
         ]
         return (min(speedups) - 1.0) * 100.0
 
+    def to_dict(self) -> dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        return {
+            "sweep": self.sweep.to_dict(),
+            "min_improvement_percent": self.min_improvement_percent(),
+        }
+
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig6Result:
     return Fig6Result(sweep=sweep_app(xgc1, scale, base_seed))

@@ -19,11 +19,12 @@ samples here are independent machines with frozen stationary noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List
 
 import numpy as np
 
-from repro.harness.experiment import Scale, run_samples
+from repro.harness.experiment import Scale, n_samples_override, run_samples
 from repro.harness.report import format_table
 from repro.interference import (
     BackgroundWriterJob,
@@ -84,6 +85,22 @@ class Table1Result:
             rows,
             title="Table I — IO variability due to external interference",
         )
+
+    def to_dict(self) -> Dict:
+        """Machine-readable summary (JSON-safe scalars only)."""
+        out: Dict[str, Dict] = {}
+        for cond in CONDITIONS:
+            if cond not in self.bandwidths:
+                continue
+            s = self.stats(cond)
+            out[cond] = {
+                "n": s.n,
+                "mean": s.mean,
+                "std": s.std,
+                "cov_percent": s.cov_percent,
+                "samples": [float(b) for b in self.bandwidths[cond]],
+            }
+        return {"conditions": out}
 
 
 def _probe_jaguar(seed: int, n_osts: int) -> float:
@@ -155,21 +172,21 @@ def _probe_xtp(seed: int, with_interference: bool) -> float:
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Table1Result:
     preset = _PRESETS[Scale.parse(scale)]
-    n = preset["n_samples"]
+    n = n_samples_override(preset["n_samples"])
     result = Table1Result()
     result.bandwidths["jaguar"] = run_samples(
-        lambda s: _probe_jaguar(s, preset["jaguar_osts"]), n, base_seed
+        partial(_probe_jaguar, n_osts=preset["jaguar_osts"]), n, base_seed
     )
     result.bandwidths["franklin"] = run_samples(
-        lambda s: _probe_franklin(s, preset["franklin_osts"]),
+        partial(_probe_franklin, n_osts=preset["franklin_osts"]),
         n,
         base_seed + 1,
     )
     xtp_n = max(4, n // 4)  # XTP was probed less often in the paper too
     result.bandwidths["xtp_with_int"] = run_samples(
-        lambda s: _probe_xtp(s, True), xtp_n, base_seed + 2
+        partial(_probe_xtp, with_interference=True), xtp_n, base_seed + 2
     )
     result.bandwidths["xtp_without_int"] = run_samples(
-        lambda s: _probe_xtp(s, False), xtp_n, base_seed + 3
+        partial(_probe_xtp, with_interference=False), xtp_n, base_seed + 3
     )
     return result

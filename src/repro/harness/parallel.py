@@ -1,0 +1,159 @@
+"""Process-parallel sample execution for experiment sweeps.
+
+Every figure in the paper is a sweep (writer counts x transports x
+interference conditions x samples), and every sample is an independent
+simulation fully determined by its derived seed — embarrassingly
+parallel work that the serial harness used to grind through one run at
+a time.  This module fans samples out over a ``ProcessPoolExecutor``
+while keeping the results **bit-for-bit identical** to serial
+execution:
+
+* the per-sample seed derivation is exactly
+  :func:`repro.harness.experiment.sample_seed` — the same integers in
+  the same order;
+* results are returned in submission order regardless of completion
+  order;
+* each sample builds its own machine from its seed (that was already
+  the contract), so no state crosses process boundaries.
+
+Job count resolution, in priority order: the explicit ``jobs``
+argument, the ``REPRO_JOBS`` environment variable (``0`` means "all
+cores"), else serial.  ``--jobs N`` on ``repro.tools.experiment`` and
+on the benchmark suite sets ``REPRO_JOBS`` for everything below it.
+
+Tracing still works: when a process-wide tracer is active (see
+:func:`repro.harness.experiment.trace_to`), each worker runs its
+sample under a fresh tracer and ships the recorded events back; the
+parent absorbs them in sample order with
+:meth:`repro.trace.Tracer.absorb`, which assigns each worker run a
+fresh run index — the same multi-run prefixing the Chrome exporter
+already uses for serial sweeps.
+
+Functions submitted to the pool must be picklable (module-level
+functions or :func:`functools.partial` over them — not closures).  A
+non-picklable function falls back to serial execution with a
+``RuntimeWarning`` so a sweep never breaks, it just stops being
+parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map", "resolve_jobs", "run_samples"]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count to use: explicit *jobs*, else ``REPRO_JOBS``, else 1.
+
+    ``0`` (or any negative value) means "one worker per CPU core".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _invoke(fn: Callable[[T], U], arg: T, want_trace: bool):
+    """Worker-side wrapper: run one sample, optionally under a tracer.
+
+    Returns ``(result, events)`` where *events* is the worker tracer's
+    buffer (or None when tracing is off).  Runs in the pool worker; a
+    fork-started worker may have inherited the parent's active tracer,
+    whose events would be recorded into a lost copy — so the active
+    tracer is always overridden here, one way or the other.
+    """
+    from repro.trace import Tracer, tracing
+
+    if want_trace:
+        t = Tracer()
+        with tracing(t):
+            return fn(arg), t.events
+    from repro.trace.tracer import set_active_tracer
+
+    set_active_tracer(None)
+    return fn(arg), None
+
+
+def parallel_map(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[U]:
+    """``[fn(x) for x in items]``, fanned out over worker processes.
+
+    Order-stable: result *i* corresponds to ``items[i]`` no matter
+    which worker finished first.  With ``jobs == 1`` (the default when
+    ``REPRO_JOBS`` is unset) no pool is created and this *is* the list
+    comprehension.  A non-picklable *fn* (closure, lambda, bound local)
+    triggers a serial fallback with a ``RuntimeWarning``.
+    """
+    from repro.trace.tracer import get_active_tracer
+
+    n_jobs = resolve_jobs(jobs)
+    items = list(items)
+    if n_jobs <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        warnings.warn(
+            f"parallel_map: {fn!r} is not picklable ({exc}); "
+            "running serially.  Pass a module-level function or a "
+            "functools.partial over one to enable process parallelism.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(x) for x in items]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    tracer = get_active_tracer()
+    want_trace = tracer is not None and tracer.enabled
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
+        futures = [pool.submit(_invoke, fn, x, want_trace) for x in items]
+        out: List[U] = []
+        for fut in futures:  # submission order == item order
+            result, events = fut.result()
+            if want_trace and events:
+                tracer.absorb(events)
+            out.append(result)
+    return out
+
+
+def run_samples(
+    fn: Callable[[int], T],
+    n_samples: int,
+    base_seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[T]:
+    """Run ``fn(seed)`` for each of *n_samples* derived seeds.
+
+    The parallel twin of the serial harness entry point: seeds come
+    from :func:`repro.harness.experiment.sample_seed` (identical
+    integers in identical order) and the output list is ordered by
+    sample index, so serial and parallel execution are
+    indistinguishable from the results.
+    """
+    from repro.harness.experiment import sample_seed
+
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    seeds = [sample_seed(base_seed, i) for i in range(n_samples)]
+    return parallel_map(fn, seeds, jobs=jobs)

@@ -124,6 +124,8 @@ def max_min_fair_rates(
     cap_src: np.ndarray,
     cap_dst: np.ndarray,
     flow_cap: Optional[np.ndarray] = None,
+    counts_src: Optional[np.ndarray] = None,
+    counts_dst: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Max-min fair rates for flows over a bipartite capacity graph.
 
@@ -135,6 +137,11 @@ def max_min_fair_rates(
         Resource capacities (bytes/s).  ``inf`` entries are legal.
     flow_cap:
         Optional per-flow rate ceiling.
+    counts_src, counts_dst:
+        Optional precomputed per-resource flow counts (what
+        ``np.bincount(src_idx, minlength=len(cap_src))`` would return).
+        The flow network maintains these incrementally and passes them
+        in so the allocator never re-derives them.
 
     Returns
     -------
@@ -149,11 +156,20 @@ def max_min_fair_rates(
     if flow_cap is None:
         flow_cap = np.full(n_flows, np.inf)
 
-    rates = np.zeros(n_flows)
-    frozen = np.zeros(n_flows, dtype=bool)
-    residual_src = cap_src.astype(np.float64).copy()
-    residual_dst = cap_dst.astype(np.float64).copy()
-    level = 0.0
+    # Per-resource live-flow counts; maintained incrementally across
+    # rounds (subtracting the newly frozen flows) instead of a fresh
+    # O(flows) bincount per round.
+    if counts_src is None:
+        cnt_src = np.bincount(src_idx, minlength=n_src).astype(np.float64)
+    else:
+        cnt_src = np.asarray(counts_src, dtype=np.float64).copy()
+    if counts_dst is None:
+        cnt_dst = np.bincount(dst_idx, minlength=n_dst).astype(np.float64)
+    else:
+        cnt_dst = np.asarray(counts_dst, dtype=np.float64).copy()
+
+    residual_src = cap_src.astype(np.float64)
+    residual_dst = cap_dst.astype(np.float64)
     finite = cap_src[np.isfinite(cap_src)]
     scale = float(finite.max()) if finite.size else 1.0
     finite_d = cap_dst[np.isfinite(cap_dst)]
@@ -161,25 +177,62 @@ def max_min_fair_rates(
         scale = max(scale, float(finite_d.max()))
     tol = 1e-12 * max(scale, 1.0)
 
-    # Progressive filling; ≤ n_flows rounds, typically just a handful.
+    # First filling round, unrolled: raise every flow uniformly to the
+    # first saturation level.  When that one level freezes *all* flows
+    # (one shared bottleneck — by far the common case: a homogeneous
+    # writer population gated by sink capacity or by the per-flow cap)
+    # the allocation is done and the progressive-filling loop is never
+    # entered.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inc_src = np.where(cnt_src > 0, residual_src / cnt_src, np.inf)
+        inc_dst = np.where(cnt_dst > 0, residual_dst / cnt_dst, np.inf)
+    level = min(
+        float(inc_src.min()),
+        float(inc_dst.min()),
+        float(flow_cap.min()),
+    )
+    if not np.isfinite(level):
+        # Flows touch only infinite-capacity resources.
+        return np.minimum(flow_cap, _BIG_RATE)
+    level = max(level, 0.0)
+    residual_src = residual_src - level * cnt_src
+    residual_dst = residual_dst - level * cnt_dst
+    sat_src = residual_src <= tol
+    sat_dst = residual_dst <= tol
+    newly = sat_src[src_idx] | sat_dst[dst_idx] | (flow_cap - level <= tol)
+    if newly.all():
+        return np.minimum(level, flow_cap)
+    if not newly.any():
+        # Numerical safety: freeze everything to guarantee progress
+        # (should not happen with exact arithmetic).
+        return np.minimum(level, flow_cap)
+
+    # General case: progressive filling over the shrinking live set.
+    # Each round's work is O(live flows), so the total across rounds is
+    # O(flows), not O(rounds x flows).
+    rates = np.zeros(n_flows)
+    rates[newly] = np.minimum(level, flow_cap[newly])
+    cnt_src -= np.bincount(src_idx[newly], minlength=n_src)
+    cnt_dst -= np.bincount(dst_idx[newly], minlength=n_dst)
+    live_idx = np.nonzero(~newly)[0]
+    src_live = src_idx[live_idx]
+    dst_live = dst_idx[live_idx]
+    fcap_live = flow_cap[live_idx]
+
     for _ in range(n_flows + 2):
-        live = ~frozen
-        if not live.any():
+        if live_idx.size == 0:
             break
-        cnt_src = np.bincount(src_idx[live], minlength=n_src).astype(np.float64)
-        cnt_dst = np.bincount(dst_idx[live], minlength=n_dst).astype(np.float64)
         with np.errstate(divide="ignore", invalid="ignore"):
             inc_src = np.where(cnt_src > 0, residual_src / cnt_src, np.inf)
             inc_dst = np.where(cnt_dst > 0, residual_dst / cnt_dst, np.inf)
-        inc_flow = flow_cap[live] - level
         inc = min(
             float(inc_src.min()),
             float(inc_dst.min()),
-            float(inc_flow.min()) if inc_flow.size else np.inf,
+            float(fcap_live.min()) - level,
         )
         if not np.isfinite(inc):
             # Remaining flows touch only infinite-capacity resources.
-            rates[live] = np.minimum(flow_cap[live], _BIG_RATE)
+            rates[live_idx] = np.minimum(fcap_live, _BIG_RATE)
             break
         inc = max(inc, 0.0)
         level += inc
@@ -187,21 +240,21 @@ def max_min_fair_rates(
         residual_dst -= inc * cnt_dst
         sat_src = residual_src <= tol
         sat_dst = residual_dst <= tol
-        newly = live & (
-            sat_src[src_idx]
-            | sat_dst[dst_idx]
-            | (flow_cap - level <= tol)
+        newly = sat_src[src_live] | sat_dst[dst_live] | (
+            fcap_live - level <= tol
         )
         if not newly.any():
-            # Numerical safety: freeze the strictest flows to guarantee
-            # progress (should not happen with exact arithmetic).
-            newly = live
-        rates[newly] = np.where(
-            np.isfinite(flow_cap[newly]),
-            np.minimum(level, flow_cap[newly]),
-            level,
-        )
-        frozen |= newly
+            # Numerical safety (see above).
+            newly = np.ones(live_idx.size, dtype=bool)
+        frozen_idx = live_idx[newly]
+        rates[frozen_idx] = np.minimum(level, flow_cap[frozen_idx])
+        cnt_src -= np.bincount(src_live[newly], minlength=n_src)
+        cnt_dst -= np.bincount(dst_live[newly], minlength=n_dst)
+        keep = ~newly
+        live_idx = live_idx[keep]
+        src_live = src_live[keep]
+        dst_live = dst_live[keep]
+        fcap_live = fcap_live[keep]
     return rates
 
 
@@ -255,9 +308,20 @@ class FlowNetwork:
         self._stall_now = -1.0
         self._stall_streak = 0
         self._inflow = np.zeros(self.n_sinks, dtype=np.float64)
+        # Per-sink / per-source active stream counts, maintained
+        # incrementally on start/cancel/complete — never re-derived
+        # with a bincount over the flow set.
         self._counts = np.zeros(self.n_sinks, dtype=np.int64)
+        self._src_counts = np.zeros(self.n_sources, dtype=np.int64)
+        # Flow-set generation vs. the generation the current rate
+        # allocation was computed for: when they match and sink
+        # capacities are unchanged, a settle can skip reallocation.
+        self._flowset_gen = 0
+        self._alloc_gen = -1
+        self._last_caps: Optional[np.ndarray] = None
         self.total_bytes_delivered = 0.0
         self.settle_count = 0
+        self.realloc_count = 0
 
     # -- public API ------------------------------------------------------
     @property
@@ -306,6 +370,9 @@ class FlowNetwork:
         self._records[fid] = (ev, float(nbytes), self.env.now)
         self._slot_of[fid] = slot
         self._id_of_slot[slot] = fid
+        self._counts[sink] += 1
+        self._src_counts[source] += 1
+        self._flowset_gen += 1
         tr = self.env.tracer
         if tr is not None and tr.enabled:
             tr.begin(
@@ -332,6 +399,9 @@ class FlowNetwork:
         left = float(self._remaining[slot])
         self._active[slot] = False
         self._free.append(slot)
+        self._counts[self._dst[slot]] -= 1
+        self._src_counts[self._src[slot]] -= 1
+        self._flowset_gen += 1
         tr = self.env.tracer
         if tr is not None and tr.enabled:
             tr.end(
@@ -397,6 +467,8 @@ class FlowNetwork:
         # Complete drained flows.
         act_slots = np.nonzero(self._active)[0]
         done_slots = act_slots[self._remaining[act_slots] <= _EPS_BYTES]
+        if done_slots.size:
+            self._flowset_gen += 1
         for slot in done_slots:
             fid = self._id_of_slot.pop(int(slot))
             ev, nbytes, t0 = self._records.pop(fid)
@@ -404,6 +476,8 @@ class FlowNetwork:
             self._active[slot] = False
             self._rate[slot] = 0.0
             self._free.append(int(slot))
+            self._counts[self._dst[slot]] -= 1
+            self._src_counts[self._src[slot]] -= 1
             if traced:
                 tr.end(
                     "flow",
@@ -418,13 +492,15 @@ class FlowNetwork:
 
         act_slots = np.nonzero(self._active)[0]
         if act_slots.size == 0:
-            self._counts = np.zeros(self.n_sinks, dtype=np.int64)
             self._inflow = np.zeros(self.n_sinks, dtype=np.float64)
+            self._last_caps = None
             # capacities() is where the pool updates internal state
             # (e.g. the cache-full hysteresis flag) — it must run even
             # with no flows, or a drained cache keeps reporting an
             # overdue transition and the timer livelocks at delay 0.
-            self.pool.capacities(self._counts, now)
+            # The pool keeps a reference to the counts it is given, so
+            # hand it a snapshot, never the live incremental array.
+            self.pool.capacities(self._counts.copy(), now)
             if traced:
                 tr.instant(
                     "reallocate", cat="fabric", pid="fabric", tid="settle",
@@ -436,28 +512,46 @@ class FlowNetwork:
             self._arm_timer(t_pool)
             return
 
-        src = self._src[act_slots]
         dst = self._dst[act_slots]
-        counts = np.bincount(dst, minlength=self.n_sinks)
+        # Snapshot: the pool retains the array (its advance() uses the
+        # counts from the *last* settle), so it must not alias the
+        # incrementally-updated live counts.
+        counts = self._counts.copy()
         caps = np.asarray(
             self.pool.capacities(counts, now), dtype=np.float64
         )
-        rates = max_min_fair_rates(
-            src, dst, self._cap_src, caps, self._fcap[act_slots]
-        )
-        self._rate[act_slots] = rates
-        self._counts = counts
-        self._inflow = np.bincount(
-            dst, weights=rates, minlength=self.n_sinks
-        )
-        if traced:
-            total = float(self._inflow.sum())
-            tr.instant(
-                "reallocate", cat="fabric", pid="fabric", tid="settle",
-                args={"flows": int(act_slots.size), "total_inflow": total},
+        if (
+            self._alloc_gen == self._flowset_gen
+            and self._last_caps is not None
+            and np.array_equal(caps, self._last_caps)
+        ):
+            # Neither the flow set nor any capacity changed since the
+            # current allocation was computed (a pool transition timer
+            # fired early, or an out-of-band invalidate was a no-op):
+            # existing rates are still the max-min allocation, so skip
+            # straight to re-arming the timer.
+            rates = self._rate[act_slots]
+        else:
+            rates = max_min_fair_rates(
+                self._src[act_slots], dst, self._cap_src, caps,
+                self._fcap[act_slots],
+                counts_src=self._src_counts, counts_dst=counts,
             )
-            tr.counter("inflow", pid="fabric",
-                       values={"bytes_per_s": total})
+            self._rate[act_slots] = rates
+            self._inflow = np.bincount(
+                dst, weights=rates, minlength=self.n_sinks
+            )
+            self._alloc_gen = self._flowset_gen
+            self._last_caps = caps.copy()
+            self.realloc_count += 1
+            if traced:
+                total = float(self._inflow.sum())
+                tr.instant(
+                    "reallocate", cat="fabric", pid="fabric", tid="settle",
+                    args={"flows": int(act_slots.size), "total_inflow": total},
+                )
+                tr.counter("inflow", pid="fabric",
+                           values={"bytes_per_s": total})
 
         with np.errstate(divide="ignore"):
             finish = np.where(

@@ -129,9 +129,15 @@ class Environment:
         """Run a plain callable at ``now + delay`` (no process needed).
 
         Used by the flow network to arm its single "next state change"
-        timer.  Returns the underlying event; callers may ignore a fired
-        timer by checking their own generation counters — the kernel does
-        not support descheduling, which keeps the calendar a plain heap.
+        timer.  Returns the underlying event, which supports
+        :meth:`~repro.sim.events.Event.cancel`: a cancelled timer is
+        discarded lazily when the calendar reaches it (the heap entry
+        is skipped without advancing the clock), so the calendar stays
+        a plain heap and cancelling the last pending event leaves it
+        genuinely empty.  Callers that re-arm often (the flow network)
+        may instead keep their own generation counter and ignore stale
+        firings — cheaper than cancelling when most timers are
+        superseded before they fire.
         """
         ev = Event(self)
         ev._ok = True
@@ -159,16 +165,19 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event."""
-        while self._queue and self._queue[0][3]._cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        q = self._queue
+        pop = heapq.heappop
+        while q and q[0][3]._cancelled:
+            pop(q)
+        if not q:
             raise StopSimulation("calendar empty")
-        t, _prio, _seq, event = heapq.heappop(self._queue)
-        if t < self._now - 1e-12:
+        t, _prio, _seq, event = pop(q)
+        if t > self._now:
+            self._now = t
+        elif t < self._now - 1e-12:
             raise RuntimeError(
                 f"time went backwards: event at {t} < now {self._now}"
             )
-        self._now = max(self._now, t)
         callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks:
             fn(event)
@@ -198,18 +207,41 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            try:
-                self.step()
-            except StopSimulation:
-                break
-            if stop_event is not None and stop_event.processed:
-                if stop_event.ok:
-                    return stop_event.value
-                raise stop_event.value
+        # The hot loop: equivalent to peek()+step() per iteration, but
+        # with the heap scanned once, the heap/pop lookups hoisted, and
+        # the stop-event check reduced to a slot load.  The simulation
+        # spends most of its wall-clock here.
+        q = self._queue
+        pop = heapq.heappop
+        try:
+            while q:
+                while q and q[0][3]._cancelled:
+                    pop(q)
+                if not q:
+                    break
+                t = q[0][0]
+                if t > stop_time:
+                    self._now = stop_time
+                    return None
+                event = pop(q)[3]
+                if t > self._now:
+                    self._now = t
+                elif t < self._now - 1e-12:
+                    raise RuntimeError(
+                        f"time went backwards: event at {t} < "
+                        f"now {self._now}"
+                    )
+                callbacks, event.callbacks = event.callbacks, None
+                for fn in callbacks:
+                    fn(event)
+                    if self._crashed is not None:
+                        raise self._crashed
+                if stop_event is not None and stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+        except StopSimulation:
+            pass
         if stop_event is not None:
             raise RuntimeError(
                 "simulation ran out of events before the awaited event fired"

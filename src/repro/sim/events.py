@@ -16,6 +16,7 @@ changes), so allocation cost is not the bottleneck.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -159,11 +160,19 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ + Environment._schedule: a timeout is
+        # born triggered-and-scheduled, and this constructor is the
+        # single hottest allocation site in the kernel (every process
+        # hop makes one), so it pays to skip the generic paths.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        self._scheduled = True
+        self._cancelled = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, 1, env._seq, self))
 
 
 class Condition(Event):

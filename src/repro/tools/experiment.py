@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="base random seed"
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sample fan-out (0 = all cores; "
+        "default: REPRO_JOBS, else serial).  Results are bit-identical "
+        "to serial runs",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="export a Chrome trace-event JSON of every simulation "
         "run (open in Perfetto; summarize with repro.tools.trace)",
@@ -104,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs is not None:
+        # Propagate via the environment so every run_samples call below
+        # (and in any worker-side nesting) picks the same job count up.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
 
     def run_all() -> None:

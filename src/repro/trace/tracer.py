@@ -99,6 +99,28 @@ class Tracer:
     def n_runs(self) -> int:
         return max(self._n_binds, 1)
 
+    def absorb(self, events: List[TraceEvent]) -> None:
+        """Merge another tracer's buffer (e.g. from a worker process).
+
+        Each distinct run index in *events* is assigned a fresh run
+        index here, continuing this tracer's own sequence — so a sweep
+        that fans samples out over processes produces the same
+        one-run-per-sample structure (and the same ``runN`` track
+        prefixes in the Chrome export) as a serial sweep.
+        """
+        if not events:
+            return
+        from dataclasses import replace
+
+        base = self._n_binds
+        max_run = 0
+        append = self.events.append
+        for ev in events:
+            if ev.run > max_run:
+                max_run = ev.run
+            append(replace(ev, run=base + ev.run))
+        self._n_binds = base + max_run + 1
+
     def clear(self) -> None:
         self.events.clear()
 

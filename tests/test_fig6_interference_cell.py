@@ -1,0 +1,61 @@
+"""The fig6 smoke-scale interference anomaly, pinned.
+
+At smoke scale the Fig. 6 sweep shows adaptive *losing* to MPI-IO in
+the 32-process interference cell (0.77x at seed 0).  That is not a
+bug in the transport: the artificial interference program has a fixed
+footprint (8 OSTs, 3 writers each) that does not scale down with the
+machine, so on the 12-OST smoke pool it covers ~2/3 of all targets —
+there is nowhere for the coordinator to steer, and one-writer-per-
+target serialization forgoes concurrency without buying interference
+avoidance.  On the paper machine the same job covers 8 of 672 targets
+(~1%), which is the regime the method is designed for; at the "small"
+preset (8 of 84, ~10%) the advantage is already restored.
+
+These tests pin both halves so the artifact stays understood: if the
+smoke cell starts *winning*, the interference model lost its bite; if
+the small-scale cell stops winning, steering is actually broken.
+See EXPERIMENTS.md ("Fig. 6 smoke-scale interference cell").
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.xgc1 import xgc1
+from repro.harness.experiment import sample_seed
+from repro.harness.figures.appbench import _run_cell, preset_for
+
+
+def _speedup(cfg, n_procs, seed):
+    app = xgc1()
+    mpi = _run_cell(app, "mpiio", "interference", n_procs, seed, cfg)
+    ad = _run_cell(app, "adaptive", "interference", n_procs, seed, cfg)
+    return ad.bandwidth / mpi.bandwidth
+
+
+def test_smoke_interference_cell_is_a_scale_artifact():
+    """Smoke pool, 32 procs: interference covers 8/12 targets and
+    adaptive loses on average — expected at this scale, not a bug."""
+    cfg = preset_for("smoke")
+    assert min(8, cfg.pool_osts) / cfg.pool_osts > 0.5, (
+        "smoke preset changed: interference no longer dominates the "
+        "pool, revisit EXPERIMENTS.md and this test"
+    )
+    speedups = [
+        _speedup(cfg, 32, sample_seed(0, i)) for i in range(3)
+    ]
+    assert float(np.mean(speedups)) < 1.0, (
+        f"adaptive now wins the smoke interference cell "
+        f"({speedups}); the interference model lost its bite"
+    )
+
+
+def test_interference_advantage_restored_at_small_scale():
+    """Small pool (84 OSTs): the same job covers ~10% of targets and
+    steering wins again once writers outnumber adaptive's targets."""
+    cfg = preset_for("small")
+    speedups = [
+        _speedup(cfg, 256, sample_seed(0, i)) for i in range(2)
+    ]
+    assert float(np.mean(speedups)) > 1.5, (
+        f"adaptive no longer recovers at small scale ({speedups})"
+    )

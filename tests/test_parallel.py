@@ -1,0 +1,166 @@
+"""The parallel sample executor: bit-equality with serial execution.
+
+The whole value proposition of :mod:`repro.harness.parallel` is that
+fanning samples out over worker processes changes wall-clock time and
+nothing else: same seeds, same order, same floats.  These tests pin
+that contract, the job-count resolution rules, the non-picklable
+serial fallback, and the tracer merge.
+"""
+
+import os
+import pickle
+import warnings
+from functools import partial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.experiment import sample_seed
+from repro.harness.parallel import parallel_map, resolve_jobs, run_samples
+from repro.trace import TraceEvent, Tracer, tracing
+
+
+def _echo_seed(seed: int) -> int:
+    return seed
+
+
+def _simulate(seed: int) -> tuple:
+    """A seed-determined numeric result (stands in for a machine run)."""
+    rng = np.random.default_rng(seed)
+    draws = rng.normal(size=64)
+    return float(draws.sum()), float(draws.min()), float(draws.max())
+
+
+def _traced_sample(seed: int) -> int:
+    from repro.trace import get_active_tracer
+
+    t = get_active_tracer()
+    if t is not None:
+        t.instant("sample", cat="test", pid="test", tid=f"seed {seed}")
+    return seed
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_used_when_no_arg(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+
+class TestRunSamples:
+    def test_seed_derivation_and_order(self):
+        out = run_samples(_echo_seed, 5, base_seed=42, jobs=1)
+        assert out == [sample_seed(42, i) for i in range(5)]
+
+    def test_parallel_seed_derivation_and_order(self):
+        out = run_samples(_echo_seed, 5, base_seed=42, jobs=2)
+        assert out == [sample_seed(42, i) for i in range(5)]
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            run_samples(_echo_seed, 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        base=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_parallel_bit_identical_to_serial(self, n, base):
+        serial = run_samples(_simulate, n, base, jobs=1)
+        parallel = run_samples(_simulate, n, base, jobs=2)
+        # == on floats, not approx: the contract is bit-equality.
+        assert serial == parallel
+
+    def test_end_to_end_figure_bit_identical(self):
+        fig3 = pytest.importorskip("repro.harness.figures.fig3")
+        serial = fig3.run("smoke", 0).to_dict()
+        os.environ["REPRO_JOBS"] = "2"
+        try:
+            parallel = fig3.run("smoke", 0).to_dict()
+        finally:
+            del os.environ["REPRO_JOBS"]
+        assert serial == parallel
+
+
+class TestParallelMap:
+    def test_order_stability(self):
+        items = list(range(10))
+        assert parallel_map(_echo_seed, items, jobs=3) == items
+
+    def test_serial_when_jobs_one(self):
+        assert parallel_map(_echo_seed, [1, 2, 3], jobs=1) == [1, 2, 3]
+
+    def test_non_picklable_falls_back_with_warning(self):
+        captured = []
+        fn = lambda x: x * 2  # noqa: E731 - deliberately unpicklable
+        with pytest.raises(Exception):
+            pickle.dumps(fn)
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            out = parallel_map(fn, [1, 2, 3], jobs=2)
+            captured = [x for x in w if x.category is RuntimeWarning]
+        assert out == [2, 4, 6]
+        assert captured, "expected a RuntimeWarning on serial fallback"
+        assert "not picklable" in str(captured[0].message)
+
+    def test_partial_of_module_function_is_parallelizable(self):
+        fn = partial(_echo_seed)
+        pickle.dumps(fn)  # must not raise
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert parallel_map(fn, [1, 2], jobs=2) == [1, 2]
+
+    def test_tracer_collects_worker_events_in_sample_order(self):
+        with tracing(Tracer()) as t:
+            parallel_map(_traced_sample, [10, 11, 12], jobs=2)
+        names = [(e.tid, e.run) for e in t.events if e.name == "sample"]
+        # One run per sample, in submission order, distinct run indices.
+        assert names == [("seed 10", 0), ("seed 11", 1), ("seed 12", 2)]
+        assert t.n_runs == 3
+
+
+class TestTracerAbsorb:
+    def _ev(self, run):
+        return TraceEvent(
+            "i", "x", "test", 0.0, pid="p", tid="t", run=run
+        )
+
+    def test_reindexes_runs_onto_own_sequence(self):
+        t = Tracer()
+        t._n_binds = 2  # two local runs already recorded
+        t.absorb([self._ev(0), self._ev(1), self._ev(0)])
+        assert [e.run for e in t.events] == [2, 3, 2]
+        assert t._n_binds == 4
+
+    def test_absorb_empty_is_noop(self):
+        t = Tracer()
+        t.absorb([])
+        assert len(t.events) == 0
+        assert t._n_binds == 0
+
+    def test_successive_absorbs_stack(self):
+        t = Tracer()
+        t.absorb([self._ev(0)])
+        t.absorb([self._ev(0)])
+        assert [e.run for e in t.events] == [0, 1]
+        assert t.n_runs == 2
