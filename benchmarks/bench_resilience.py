@@ -1,0 +1,36 @@
+"""Resilience sweep — adaptive IO under injected OST failures.
+
+Fails k storage targets mid-write and compares time-to-complete-
+durable-output goodput across methods.  The static methods lose the
+failed targets' bytes and pay an application-level re-run; the
+adaptive method relocates the affected sub-files and re-drives the
+affected writers within the run, so it must stay fully durable and
+keep the goodput lead at every failure count.
+"""
+
+import pytest
+
+from repro.harness.figures import resilience
+
+
+@pytest.mark.benchmark(group="resilience")
+def test_resilience(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: resilience.run(scale, 0), rounds=1, iterations=1
+    )
+    save_result(
+        "resilience",
+        result.render(),
+        data=result.to_dict(),
+    )
+    for k in resilience.K_FAILED:
+        assert result.durable_frac("adaptive", k) == pytest.approx(1.0), (
+            f"adaptive must stay fully durable with {k} OSTs failed"
+        )
+        for method in resilience.METHODS:
+            assert (
+                result.goodput("adaptive", k) >= result.goodput(method, k)
+            ), (
+                f"adaptive goodput must dominate {method} "
+                f"at {k} failed OSTs"
+            )

@@ -16,19 +16,29 @@ __all__ = [
     "TAG_WRITER",
     "TAG_SC",
     "TAG_COORD",
+    "TAG_ADOPTED_BASE",
     "WriteStart",
     "WriteComplete",
+    "WriteFailed",
     "IndexBody",
     "AdaptiveWriteStart",
     "WritersBusy",
     "OverallWriteComplete",
     "ScComplete",
     "ScIndex",
+    "ScRelocated",
+    "Heartbeat",
+    "WriterRelease",
 ]
 
 TAG_WRITER = 10  # messages addressed to a rank's writer role
 TAG_SC = 11  # messages addressed to a rank's sub-coordinator role
 TAG_COORD = 12  # messages addressed to the coordinator role
+# Adopted sub-coordinators: when the coordinator takes over a dead SC's
+# group, the replacement endpoint lives on the coordinator's rank under
+# TAG_ADOPTED_BASE + group so it never collides with the rank's own
+# writer/SC/C roles (or with other adopted groups).
+TAG_ADOPTED_BASE = 20
 
 
 @dataclass(frozen=True)
@@ -37,12 +47,18 @@ class WriteStart:
 
     ``target_group`` identifies the sub-file/OST; ``offset`` is the
     byte position in it.  ``adaptive`` marks steered (foreign-target)
-    writes for bookkeeping.
+    writes for bookkeeping.  ``epoch`` is the target group's file
+    incarnation (bumped on relocation after a storage failure);
+    ``recovery`` marks re-issued writes whose first attempt was lost
+    with a dead incarnation, so completion bookkeeping is not double
+    counted.
     """
 
     target_group: int
     offset: float
     adaptive: bool = False
+    epoch: int = 0
+    recovery: bool = False
 
 
 @dataclass(frozen=True)
@@ -61,6 +77,8 @@ class WriteComplete:
     nbytes: float
     index_nbytes: float
     adaptive: bool = False
+    epoch: int = 0
+    recovery: bool = False
 
 
 @dataclass(frozen=True)
@@ -70,6 +88,7 @@ class IndexBody:
     source_rank: int
     target_group: int
     entries: tuple  # tuple of IndexEntry
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -78,6 +97,7 @@ class AdaptiveWriteStart:
 
     target_group: int
     offset: float
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -104,6 +124,7 @@ class ScComplete:
 
     source_group: int
     final_offset: float
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -114,3 +135,48 @@ class ScIndex:
     file_path: str
     entries: tuple
     index_nbytes: float
+
+
+@dataclass(frozen=True)
+class WriteFailed:
+    """writer -> target SC (relayed SC -> C): a write attempt is abandoned.
+
+    Sent after a fail-stop error or after the retry budget for a hung
+    target is exhausted.  ``epoch`` is the incarnation the writer was
+    writing against; a failure against the *current* epoch triggers
+    relocation, a stale one is already being handled.
+    """
+
+    source_rank: int
+    source_group: int
+    target_group: int
+    nbytes: float
+    epoch: int = 0
+    adaptive: bool = False
+    recovery: bool = False
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ScRelocated:
+    """SC -> C: my group's file moved to a new incarnation.
+
+    The coordinator un-poisons the group, records the new epoch, and
+    resumes steering toward it once it re-announces completion.
+    """
+
+    source_group: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """SC -> C: liveness beacon (fault mode only)."""
+
+    source_group: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class WriterRelease:
+    """SC/C -> writer: shut down your service loop (fault mode only)."""

@@ -32,21 +32,33 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.core.groups import GroupMap
 from repro.core.index import GlobalIndex, LocalIndex
 from repro.core.messages import (
+    TAG_ADOPTED_BASE,
     TAG_COORD,
     TAG_SC,
     TAG_WRITER,
     AdaptiveWriteStart,
+    Heartbeat,
     IndexBody,
     OverallWriteComplete,
     ScComplete,
     ScIndex,
+    ScRelocated,
     WriteComplete,
+    WriteFailed,
     WritersBusy,
+    WriterRelease,
     WriteStart,
 )
 from repro.core.transports.base import OutputResult, Transport, WriterTiming
-from repro.errors import ProtocolError
+from repro.errors import (
+    OstFailedError,
+    ProtocolError,
+    StripeLimitExceeded,
+    TransportError,
+    WriteTimeout,
+)
 from repro.mpi.comm import SimComm
+from repro.sim.events import AllSettled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
@@ -119,6 +131,8 @@ class AdaptiveTransport(Transport):
         app: "AppKernel",
         output_name: str = "output",
     ) -> OutputResult:
+        if machine.faults is not None:
+            return self._run_faulted(machine, app, output_name)
         env = machine.env
         fs = machine.fs
         n_ranks = machine.n_ranks
@@ -535,3 +549,904 @@ class AdaptiveTransport(Transport):
             },
         )
         return self._finish(machine, result)
+
+    # -- the fault-hardened run --------------------------------------------
+    def _run_faulted(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> OutputResult:
+        """Fault-tolerant variant of :meth:`run` (``machine.faults`` set).
+
+        Same protocol, hardened:
+
+        * every data write carries a timeout; a timed-out writer backs
+          off (capped exponential) and retries up to the policy budget
+          before abandoning with ``WriteFailed``;
+        * each group's sub-file is an *incarnation* ``(group, epoch)``.
+          A failure against the current epoch makes the SC relocate to
+          a fresh file on a healthy OST, bump the epoch, and re-signal
+          everything it was hosting in one recovery burst (after a
+          failure, minimizing time-at-risk beats pacing).  Messages
+          about older epochs are stale: completions/failures from
+          ranks nobody is re-hosting get a recovery signal, the rest
+          are dropped;
+        * the coordinator poisons steering targets that report
+          failures, tracks SC liveness via heartbeats, and adopts a
+          silent SC's group on its own rank under
+          ``TAG_ADOPTED_BASE + group``;
+        * the run is bounded by ``policy.run_timeout``.  However it
+          ends, per-rank durability is accounted from the landing sets
+          of the *current* incarnations; an unclean run raises
+          :class:`~repro.errors.TransportError` carrying
+          ``bytes_durable`` / ``bytes_lost`` and the partial result
+          instead of hanging or silently under-reporting.
+        """
+        env = machine.env
+        fs = machine.fs
+        faults = machine.faults
+        policy = faults.policy
+        n_ranks = machine.n_ranks
+        n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
+        if not 1 <= n_groups <= machine.n_osts:
+            raise ValueError(
+                f"n_osts_used {n_groups} out of range for pool of "
+                f"{machine.n_osts}"
+            )
+        n_groups = min(n_groups, n_ranks)
+        groups = self._make_group_map(n_ranks, n_groups)
+        comm = SimComm(env, n_ranks, latency=machine.spec.latency)
+        comm.faults = faults
+        nbytes = app.per_process_bytes
+        index_nbytes = float(
+            sum(e.serialized_bytes for e in app.index_entries(0, 0.0))
+        )
+
+        tracer = env.tracer
+        traced = tracer is not None and tracer.enabled
+        # sc_rank/sc_tag are mutable: adoption redirects a group's SC
+        # endpoint, and writers resolve the address at send time.
+        sc_rank = [groups.sub_coordinator_of(g) for g in range(n_groups)]
+        sc_tag = [TAG_SC] * n_groups
+        coord = groups.coordinator
+        group_of = [groups.group_of(r) for r in range(n_ranks)]
+
+        files: Dict[int, object] = {}  # group -> current incarnation
+        files_at: Dict[tuple, object] = {}  # (group, epoch) -> SimFile
+        paths_at: Dict[tuple, str] = {}
+        epoch_of = [0] * n_groups
+        timings: List[Optional[WriterTiming]] = [None] * n_ranks
+        stats = {
+            "adaptive_writes": 0,
+            "busy_bounces": 0,
+            "retries": 0,
+            "aborts": 0,
+            "relocations": 0,
+            "adoptions": 0,
+        }
+        phase: Dict[str, float] = {}
+        global_index = GlobalIndex()
+        global_index_path = f"/{output_name}.bp.dir/index.bp"
+
+        # Landing sets of the *current* incarnation of every group —
+        # the ground truth for durability accounting after the run.
+        done_sets: Dict[int, set] = {g: set() for g in range(n_groups)}
+        flush_failures: List[str] = []
+        index_failures: List[int] = []
+        run_flags = {"timed_out": False, "stop": False}
+
+        files_ready = env.event()
+        all_created = [0]
+
+        def alive(ranks):
+            return [r for r in ranks if r not in faults.crashed_ranks]
+
+        # ---------------- Writer role (hardened Algorithm 1) --------------
+        def writer_proc(rank: int, files_ready):
+            yield files_ready
+            g = group_of[rank]
+            node = machine.node_of(rank)
+            wpid, wtid = f"node/{node}", f"rank {rank}"
+            built_index = False
+            while True:
+                if traced:
+                    tracer.begin("wait", cat="writer", pid=wpid, tid=wtid)
+                msg = yield comm.recv(rank, tag=TAG_WRITER)
+                p = msg.payload
+                if isinstance(p, WriterRelease):
+                    if traced:
+                        tracer.end("wait", cat="writer", pid=wpid, tid=wtid,
+                                   args={"released": True})
+                    return
+                ws: WriteStart = p
+                if traced:
+                    tracer.end("wait", cat="writer", pid=wpid, tid=wtid,
+                               args={"target_group": ws.target_group,
+                                     "adaptive": ws.adaptive,
+                                     "epoch": ws.epoch})
+                if self.index_build_time and not built_index:
+                    built_index = True
+                    if traced:
+                        tracer.begin("index", cat="writer", pid=wpid,
+                                     tid=wtid)
+                    yield env.timeout(self.index_build_time)
+                    if traced:
+                        tracer.end("index", cat="writer", pid=wpid, tid=wtid)
+                start = env.now
+                attempt = 0
+                failure = None
+                while True:
+                    f = files_at[(ws.target_group, ws.epoch)]
+                    if traced:
+                        tracer.begin(
+                            "write", cat="writer", pid=wpid, tid=wtid,
+                            args={"nbytes": float(nbytes),
+                                  "target_group": ws.target_group,
+                                  "offset": float(ws.offset),
+                                  "adaptive": ws.adaptive,
+                                  "epoch": ws.epoch,
+                                  "attempt": attempt},
+                        )
+                    try:
+                        yield from fs.write(
+                            f,
+                            node=node,
+                            offset=ws.offset,
+                            nbytes=nbytes,
+                            writer=rank,
+                            timeout=policy.write_timeout,
+                        )
+                    except OstFailedError as exc:
+                        if traced:
+                            tracer.end("write", cat="writer", pid=wpid,
+                                       tid=wtid,
+                                       args={"failed": "ost_failed"})
+                        # Fail-stop target: retrying the same incarnation
+                        # cannot succeed.
+                        failure = f"ost failed: {exc}"
+                        break
+                    except WriteTimeout:
+                        if traced:
+                            tracer.end("write", cat="writer", pid=wpid,
+                                       tid=wtid, args={"failed": "timeout"})
+                        attempt += 1
+                        if attempt > policy.max_retries:
+                            failure = (
+                                f"timed out {attempt}x "
+                                f"(budget {policy.max_retries} retries)"
+                            )
+                            break
+                        stats["retries"] += 1
+                        backoff = policy.backoff(attempt)
+                        if traced:
+                            tracer.instant(
+                                "write.retry", cat="fault", pid=wpid,
+                                tid=wtid,
+                                args={"target_group": ws.target_group,
+                                      "epoch": ws.epoch,
+                                      "attempt": attempt,
+                                      "backoff": backoff},
+                            )
+                        yield env.timeout(backoff)
+                    else:
+                        if traced:
+                            tracer.end("write", cat="writer", pid=wpid,
+                                       tid=wtid)
+                        break
+                if failure is None:
+                    timings[rank] = WriterTiming(
+                        rank=rank,
+                        start=start,
+                        end=env.now,
+                        nbytes=nbytes,
+                        target_group=ws.target_group,
+                        adaptive=ws.adaptive,
+                    )
+                    wc = WriteComplete(
+                        source_rank=rank,
+                        source_group=g,
+                        target_group=ws.target_group,
+                        nbytes=nbytes,
+                        index_nbytes=index_nbytes,
+                        adaptive=ws.adaptive,
+                        epoch=ws.epoch,
+                        recovery=ws.recovery,
+                    )
+                    comm.send(rank, sc_rank[g], wc, tag=sc_tag[g])
+                    if ws.target_group != g:
+                        comm.send(rank, sc_rank[ws.target_group], wc,
+                                  tag=sc_tag[ws.target_group])
+                    entries = tuple(app.index_entries(rank, ws.offset))
+                    comm.send(
+                        rank,
+                        sc_rank[ws.target_group],
+                        IndexBody(rank, ws.target_group, entries,
+                                  epoch=ws.epoch),
+                        tag=sc_tag[ws.target_group],
+                        nbytes=index_nbytes,
+                    )
+                else:
+                    stats["aborts"] += 1
+                    if traced:
+                        tracer.instant(
+                            "write.abort", cat="fault", pid=wpid, tid=wtid,
+                            args={"target_group": ws.target_group,
+                                  "epoch": ws.epoch, "reason": failure},
+                        )
+                    wf = WriteFailed(
+                        source_rank=rank,
+                        source_group=g,
+                        target_group=ws.target_group,
+                        nbytes=nbytes,
+                        epoch=ws.epoch,
+                        adaptive=ws.adaptive,
+                        recovery=ws.recovery,
+                        reason=failure,
+                    )
+                    comm.send(rank, sc_rank[ws.target_group], wf,
+                              tag=sc_tag[ws.target_group])
+                    if ws.adaptive and not ws.recovery and ws.target_group != g:
+                        # Copy to our own SC, which relays it to C for
+                        # steering bookkeeping (writers never talk to C).
+                        comm.send(rank, sc_rank[g], wf, tag=sc_tag[g])
+
+        # ---------------- Sub-coordinator role (hardened) ------------------
+        def sc_body(g: int, me: int, tag: int, epoch: int, path: str, f,
+                    burst: bool):
+            members = groups.ranks_in(g)
+            member_set = set(members)
+            waiting = deque()
+            cursor = 0.0
+            active_local = 0
+            member_done: set = set()  # members durably landed (anywhere)
+            steered_away: set = set()  # members handed to adaptive steers
+            done_set = done_sets[g]  # ranks landed on CURRENT incarnation
+            done_set.clear()
+            foreign_pending: set = set()  # foreign ranks re-hosted here
+            missing_indices = 0
+            done = False
+            local_index = LocalIndex(path)
+            sc_complete_sent = False
+
+            def signal(w: int, recovery: bool) -> None:
+                nonlocal cursor
+                if traced:
+                    tracer.instant(
+                        "WRITE_START", cat="steer", pid="adaptive",
+                        tid=f"sc {g}",
+                        args={"writer": w, "target_group": g,
+                              "offset": float(cursor), "epoch": epoch,
+                              "recovery": recovery},
+                    )
+                comm.send(
+                    me, w,
+                    WriteStart(g, cursor, adaptive=(w not in member_set),
+                               epoch=epoch, recovery=recovery),
+                    tag=TAG_WRITER,
+                )
+                cursor += nbytes
+
+            def signal_local() -> None:
+                nonlocal active_local
+                while (
+                    not done
+                    and waiting
+                    and active_local < self.writers_per_target
+                ):
+                    w = waiting.popleft()
+                    if w in faults.crashed_ranks:
+                        continue
+                    signal(w, recovery=False)
+                    active_local += 1
+
+            def incarnation_complete() -> bool:
+                return member_set.issubset(
+                    member_done | faults.crashed_ranks
+                ) and set(alive(foreign_pending)).issubset(done_set)
+
+            def maybe_sc_complete() -> None:
+                nonlocal sc_complete_sent
+                if sc_complete_sent or not incarnation_complete():
+                    return
+                sc_complete_sent = True
+                comm.send(me, coord, ScComplete(g, cursor, epoch=epoch),
+                          tag=TAG_COORD)
+
+            def orphaned(rank: int) -> bool:
+                """Is a stale reporter without a current-epoch home?"""
+                return (
+                    rank not in member_set
+                    and rank not in foreign_pending
+                    and rank not in done_set
+                    and rank not in faults.crashed_ranks
+                )
+
+            def relocate(reporter: int, reason: str):
+                nonlocal epoch, path, f, cursor, active_local, \
+                    missing_indices, local_index, sc_complete_sent
+                stats["relocations"] += 1
+                epoch += 1
+                epoch_of[g] = epoch
+                old_done = set(done_set)
+                # Members whose bytes live on another group keep their
+                # completion; everything landed *here* must be redone.
+                member_done.difference_update(old_done)
+                path = f"/{output_name}.bp.dir/{g:04d}.e{epoch}.bp"
+                ost = fs.allocate_healthy_osts(1)[0]
+                f = yield from fs.create(path, osts=[ost], stripe_size=1e15)
+                files[g] = f
+                files_at[(g, epoch)] = f
+                paths_at[(g, epoch)] = path
+                if traced:
+                    tracer.instant(
+                        "SC_RELOCATE", cat="fault", pid="adaptive",
+                        tid=f"sc {g}",
+                        args={"epoch": epoch, "ost": int(ost),
+                              "reason": reason},
+                    )
+                foreign = (old_done - member_set) | foreign_pending
+                if reporter not in member_set:
+                    foreign.add(reporter)
+                done_set.clear()
+                foreign_pending.clear()
+                foreign_pending.update(alive(foreign))
+                local_index = LocalIndex(path)
+                missing_indices = 0
+                cursor = 0.0
+                active_local = 0
+                waiting.clear()
+                sc_complete_sent = False
+                resignal = set(alive(members)) - member_done - steered_away
+                for w in sorted(resignal):
+                    signal(w, recovery=True)
+                for w in sorted(foreign_pending):
+                    signal(w, recovery=True)
+                comm.send(me, coord, ScRelocated(g, epoch), tag=TAG_COORD)
+                maybe_sc_complete()
+
+            if burst:
+                for w in alive(members):
+                    signal(w, recovery=True)
+            else:
+                waiting.extend(alive(members))
+                signal_local()
+            maybe_sc_complete()
+
+            while not done or missing_indices > 0 \
+                    or not incarnation_complete():
+                msg = yield comm.recv(me, tag=tag)
+                p = msg.payload
+                if isinstance(p, WriteComplete):
+                    if p.target_group == g:
+                        if p.epoch == epoch:
+                            done_set.add(p.source_rank)
+                            missing_indices += 1
+                            if p.source_rank in member_set:
+                                member_done.add(p.source_rank)
+                            if p.source_group == g and not p.recovery:
+                                active_local -= 1
+                                signal_local()
+                        elif orphaned(p.source_rank):
+                            # Landed on a torn-down incarnation and
+                            # nobody is re-hosting it: take it in.
+                            foreign_pending.add(p.source_rank)
+                            signal(p.source_rank, recovery=True)
+                    if p.source_group == g:
+                        member_done.add(p.source_rank)
+                        if p.adaptive and not p.recovery:
+                            comm.send(me, coord, p, tag=TAG_COORD)
+                    maybe_sc_complete()
+                elif isinstance(p, WriteFailed):
+                    if p.target_group == g and p.epoch == epoch:
+                        try:
+                            yield from relocate(p.source_rank, p.reason)
+                        except StripeLimitExceeded:
+                            # No healthy OST left to relocate onto: the
+                            # group is unrecoverable.  Keep draining
+                            # messages; the run-timeout backstop ends
+                            # the run with loss accounting.
+                            if traced:
+                                tracer.instant(
+                                    "SC_STRANDED", cat="fault",
+                                    pid="adaptive", tid=f"sc {g}",
+                                    args={"epoch": epoch},
+                                )
+                    elif p.target_group == g and orphaned(p.source_rank):
+                        foreign_pending.add(p.source_rank)
+                        signal(p.source_rank, recovery=True)
+                    if (p.source_group == g and p.adaptive
+                            and not p.recovery):
+                        comm.send(me, coord, p, tag=TAG_COORD)
+                elif isinstance(p, IndexBody):
+                    if p.epoch == epoch:
+                        local_index.add(p.entries)
+                        missing_indices -= 1
+                    # Stale bodies are dropped: the write is being
+                    # redone against the current incarnation anyway.
+                elif isinstance(p, AdaptiveWriteStart):
+                    if not waiting:
+                        stats["busy_bounces"] += 1
+                        if traced:
+                            tracer.instant(
+                                "WRITERS_BUSY", cat="steer",
+                                pid="adaptive", tid=f"sc {g}",
+                                args={"target_group": p.target_group},
+                            )
+                        comm.send(
+                            me,
+                            coord,
+                            WritersBusy(g, p.target_group, p.offset),
+                            tag=TAG_COORD,
+                        )
+                    else:
+                        w = waiting.pop()
+                        steered_away.add(w)
+                        if traced:
+                            tracer.instant(
+                                "WRITE_START", cat="steer",
+                                pid="adaptive", tid=f"sc {g}",
+                                args={"writer": w,
+                                      "target_group": p.target_group,
+                                      "offset": float(p.offset),
+                                      "adaptive": True,
+                                      "epoch": p.epoch},
+                            )
+                        comm.send(
+                            me,
+                            w,
+                            WriteStart(p.target_group, p.offset,
+                                       adaptive=True, epoch=p.epoch),
+                            tag=TAG_WRITER,
+                        )
+                elif isinstance(p, OverallWriteComplete):
+                    done = True
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"SC {g}: unexpected {p!r}")
+
+            entries = local_index.finalize()
+            local_index.check_no_overlap()
+            try:
+                yield from fs.write(
+                    f,
+                    node=machine.node_of(me),
+                    offset=f.size,
+                    nbytes=local_index.serialized_bytes,
+                    writer=me,
+                    payload=("local_index", entries),
+                    timeout=policy.write_timeout,
+                )
+            except (OstFailedError, WriteTimeout) as exc:
+                index_failures.append(g)
+                if traced:
+                    tracer.instant(
+                        "index.abort", cat="fault", pid="adaptive",
+                        tid=f"sc {g}", args={"error": str(exc)},
+                    )
+            comm.send(
+                me,
+                coord,
+                ScIndex(g, path, entries, local_index.serialized_bytes),
+                tag=TAG_COORD,
+                nbytes=local_index.serialized_bytes,
+            )
+
+        def sc_proc(g: int, files_ready, all_created):
+            me = sc_rank[g]
+            path = f"/{output_name}.bp.dir/{g:04d}.bp"
+            ost = fs.allocate_healthy_osts(1)[0]
+            f = yield from fs.create(path, osts=[ost], stripe_size=1e15)
+            files[g] = f
+            files_at[(g, 0)] = f
+            paths_at[(g, 0)] = path
+            all_created[0] += 1
+            if all_created[0] == n_groups:
+                phase["open_end"] = env.now
+                files_ready.succeed()
+            yield files_ready
+            yield from sc_body(g, me, TAG_SC, 0, path, f, burst=False)
+
+        def adopted_sc_proc(g: int):
+            epoch = epoch_of[g]
+            path = f"/{output_name}.bp.dir/{g:04d}.e{epoch}.bp"
+            ost = fs.allocate_healthy_osts(1)[0]
+            f = yield from fs.create(path, osts=[ost], stripe_size=1e15)
+            files[g] = f
+            files_at[(g, epoch)] = f
+            paths_at[(g, epoch)] = path
+            if (g, 0) not in files_at:
+                # The dead SC never even created its file: fill its seat
+                # in the open barrier so writers are not stuck forever.
+                all_created[0] += 1
+                if all_created[0] == n_groups:
+                    phase["open_end"] = env.now
+                    files_ready.succeed()
+            if not files_ready.triggered:
+                yield files_ready
+            yield from sc_body(g, coord, TAG_ADOPTED_BASE + g, epoch, path,
+                               f, burst=True)
+
+        # ---------------- Coordinator role (hardened) ----------------------
+        # State is hoisted so the SC-liveness monitor (same rank) shares it.
+        state: Dict[int, str] = {}
+        cursor: Dict[int, float] = {}
+        in_flight: Dict[int, bool] = {}
+        target_epoch: Dict[int, int] = {}
+        poisoned: set = set()
+        last_seen: Dict[int, float] = {}
+        adopted: set = set()
+        sc_index_received: set = set()
+        adopted_procs: List = []
+        coord_flags = {"outstanding": 0, "overall_sent": False}
+
+        def coord_proc(files_ready):
+            yield files_ready
+            for g in range(n_groups):
+                state[g] = _WRITING
+                target_epoch[g] = 0
+                last_seen[g] = env.now
+            rr = [0]
+
+            def next_writing_sc(exclude: int) -> Optional[int]:
+                for step in range(n_groups):
+                    g = (rr[0] + step) % n_groups
+                    if g != exclude and state[g] == _WRITING:
+                        rr[0] = (g + 1) % n_groups
+                        return g
+                return None
+
+            def try_schedule(target: int) -> None:
+                if not self.steering:
+                    return
+                if in_flight.get(target):
+                    return
+                if target in poisoned or state.get(target) != _COMPLETE:
+                    return
+                if not self._steer_target_ok(target):
+                    return
+                g = next_writing_sc(exclude=target)
+                if g is None:
+                    return
+                if traced:
+                    target_file = files.get(target)
+                    tracer.instant(
+                        "ADAPTIVE_WRITE_START", cat="steer",
+                        pid="adaptive", tid="coordinator",
+                        args={
+                            "target_group": target,
+                            "target_ost": (
+                                int(target_file.layout.osts[0])
+                                if target_file is not None else -1
+                            ),
+                            "steer_from_group": g,
+                            "offset": float(cursor[target]),
+                            "epoch": target_epoch.get(target, 0),
+                        },
+                    )
+                comm.send(
+                    coord,
+                    sc_rank[g],
+                    AdaptiveWriteStart(target, cursor[target],
+                                       epoch=target_epoch.get(target, 0)),
+                    tag=sc_tag[g],
+                )
+                in_flight[target] = True
+                coord_flags["outstanding"] += 1
+
+            def finished() -> bool:
+                return (
+                    all(s == _COMPLETE for s in state.values())
+                    and coord_flags["outstanding"] == 0
+                )
+
+            while not finished():
+                msg = yield comm.recv(coord, tag=TAG_COORD)
+                p = msg.payload
+                if isinstance(p, WriteComplete):
+                    if not p.adaptive:  # pragma: no cover - defensive
+                        raise ProtocolError(
+                            "C received non-adaptive WriteComplete"
+                        )
+                    stats["adaptive_writes"] += 1
+                    coord_flags["outstanding"] -= 1
+                    in_flight[p.target_group] = False
+                    if (p.target_group in cursor
+                            and p.epoch == target_epoch.get(
+                                p.target_group, 0)):
+                        cursor[p.target_group] += p.nbytes
+                    try_schedule(p.target_group)
+                elif isinstance(p, WriteFailed):
+                    coord_flags["outstanding"] -= 1
+                    in_flight[p.target_group] = False
+                    poisoned.add(p.target_group)
+                    if traced:
+                        tracer.instant(
+                            "STEER_POISON", cat="fault", pid="adaptive",
+                            tid="coordinator",
+                            args={"target_group": p.target_group,
+                                  "reason": p.reason},
+                        )
+                    # Never reschedule onto a target that just failed;
+                    # its SC re-announces via ScRelocated + ScComplete.
+                elif isinstance(p, ScComplete):
+                    state[p.source_group] = _COMPLETE
+                    cursor[p.source_group] = p.final_offset
+                    target_epoch[p.source_group] = p.epoch
+                    last_seen[p.source_group] = env.now
+                    if traced:
+                        tracer.instant(
+                            "SC_COMPLETE", cat="steer",
+                            pid="adaptive", tid="coordinator",
+                            args={"group": p.source_group,
+                                  "final_offset": float(p.final_offset),
+                                  "epoch": p.epoch},
+                        )
+                    try_schedule(p.source_group)
+                elif isinstance(p, ScRelocated):
+                    state[p.source_group] = _WRITING
+                    target_epoch[p.source_group] = p.epoch
+                    poisoned.discard(p.source_group)
+                    cursor.pop(p.source_group, None)
+                    last_seen[p.source_group] = env.now
+                    if traced:
+                        tracer.instant(
+                            "SC_RELOCATED", cat="fault", pid="adaptive",
+                            tid="coordinator",
+                            args={"group": p.source_group,
+                                  "epoch": p.epoch},
+                        )
+                elif isinstance(p, Heartbeat):
+                    last_seen[p.source_group] = env.now
+                elif isinstance(p, WritersBusy):
+                    if state[p.source_group] == _WRITING:
+                        state[p.source_group] = _BUSY
+                    coord_flags["outstanding"] -= 1
+                    in_flight[p.target_group] = False
+                    try_schedule(p.target_group)
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"C: unexpected {p!r}")
+
+            coord_flags["overall_sent"] = True
+            for g in range(n_groups):
+                comm.send(coord, sc_rank[g], OverallWriteComplete(),
+                          tag=sc_tag[g])
+            # Gather index pieces.  The endgame tolerates protocol echo
+            # (heartbeats, stale relays, late relocations): SCs finish
+            # their incarnations autonomously and ScIndex is the only
+            # message that advances the gather.
+            while len(sc_index_received) < n_groups:
+                msg = yield comm.recv(coord, tag=TAG_COORD)
+                p = msg.payload
+                if isinstance(p, ScIndex):
+                    if p.source_group not in sc_index_received:
+                        sc_index_received.add(p.source_group)
+                        global_index.add_file(p.file_path, p.entries)
+                elif isinstance(p, Heartbeat):
+                    last_seen[p.source_group] = env.now
+            try:
+                gi_ost = fs.allocate_healthy_osts(1)[0]
+            except StripeLimitExceeded:
+                gi_ost = fs.allocate_osts(1)[0]
+            gi_file = yield from fs.create(global_index_path, osts=[gi_ost])
+            try:
+                yield from fs.write(
+                    gi_file,
+                    node=machine.node_of(coord),
+                    offset=0,
+                    nbytes=global_index.serialized_bytes,
+                    writer=coord,
+                    payload=("global_index", global_index),
+                    timeout=policy.write_timeout,
+                )
+            except (OstFailedError, WriteTimeout):
+                index_failures.append(-1)
+            files[-1] = gi_file
+            phase["write_end"] = env.now
+
+        # ---------------- SC liveness: heartbeats + adoption ---------------
+        def heartbeat_proc(g: int):
+            me = sc_rank[g]  # the original rank; dies with it
+            while not run_flags["stop"]:
+                comm.send(me, coord, Heartbeat(g, me), tag=TAG_COORD)
+                yield env.timeout(policy.heartbeat_interval)
+
+        def adopt(g: int) -> None:
+            stats["adoptions"] += 1
+            adopted.add(g)
+            dead_rank = sc_rank[g]
+            epoch_of[g] += 1
+            sc_rank[g] = coord
+            sc_tag[g] = TAG_ADOPTED_BASE + g
+            state[g] = _WRITING
+            target_epoch[g] = epoch_of[g]
+            poisoned.discard(g)
+            cursor.pop(g, None)
+            last_seen[g] = env.now
+            if traced:
+                tracer.instant(
+                    "SC_ADOPT", cat="fault", pid="adaptive",
+                    tid="coordinator",
+                    args={"group": g, "epoch": epoch_of[g],
+                          "dead_rank": dead_rank},
+                )
+            proc = env.process(adopted_sc_proc(g),
+                               name=f"adaptive.sc.{g}.adopt")
+            adopted_procs.append(proc)
+            faults.register(coord, proc)
+            if coord_flags["overall_sent"]:
+                comm.send(coord, coord, OverallWriteComplete(),
+                          tag=TAG_ADOPTED_BASE + g)
+
+        def monitor_proc(files_ready):
+            yield files_ready
+            while not run_flags["stop"]:
+                yield env.timeout(policy.heartbeat_interval)
+                now = env.now
+                for g in range(n_groups):
+                    if g in adopted or g in sc_index_received:
+                        continue
+                    if now - last_seen.get(g, now) > policy.sc_timeout:
+                        adopt(g)
+
+        # ---------------- Orchestration ------------------------------------
+        def main():
+            t0 = env.now
+            faults.arm()  # plan times are relative to output start
+            sc_procs = []
+            hb_procs = []
+            writer_procs = []
+            for g in range(n_groups):
+                pr = env.process(sc_proc(g, files_ready, all_created),
+                                 name=f"adaptive.sc.{g}")
+                sc_procs.append(pr)
+                faults.register(sc_rank[g], pr)
+                hb = env.process(heartbeat_proc(g), name=f"adaptive.hb.{g}")
+                hb_procs.append(hb)
+                faults.register(sc_rank[g], hb)
+            for r in range(n_ranks):
+                pr = env.process(writer_proc(r, files_ready),
+                                 name=f"adaptive.w.{r}")
+                writer_procs.append(pr)
+                faults.register(r, pr)
+            cp = env.process(coord_proc(files_ready), name="adaptive.coord")
+            faults.register(coord, cp)
+            mon = env.process(monitor_proc(files_ready),
+                              name="adaptive.monitor")
+            faults.register(coord, mon)
+
+            deadline = env.timeout(policy.run_timeout)
+
+            def protocol_pending():
+                return [p for p in sc_procs + [cp] + adopted_procs
+                        if p.is_alive]
+
+            pending = protocol_pending()
+            while pending:
+                settled = AllSettled(env, pending)
+                yield env.any_of([settled, deadline])
+                if deadline.processed and protocol_pending():
+                    run_flags["timed_out"] = True
+                    break
+                pending = protocol_pending()  # adoption may have spawned
+
+            run_flags["stop"] = True
+            if run_flags["timed_out"]:
+                for p in protocol_pending():
+                    p.kill("run timeout backstop")
+            for p in hb_procs + [mon]:
+                if p.is_alive:
+                    p.kill("protocol finished")
+            phase.setdefault("write_end", env.now)
+
+            # Release the writer service loops; bound the goodbye so a
+            # lost release message cannot hang the run.
+            for r in range(n_ranks):
+                if writer_procs[r].is_alive:
+                    comm.send(coord, r, WriterRelease(), tag=TAG_WRITER)
+            lingering = [p for p in writer_procs if p.is_alive]
+            if lingering:
+                grace = env.timeout(max(1.0, 4 * policy.heartbeat_interval))
+                yield env.any_of([AllSettled(env, lingering), grace])
+                for p in lingering:
+                    if p.is_alive:
+                        p.kill("release grace expired")
+
+            fstart = env.now
+
+            def guarded_flush(f):
+                try:
+                    yield from fs.flush(f, timeout=policy.flush_timeout)
+                except (OstFailedError, WriteTimeout) as exc:
+                    flush_failures.append(f"{f.path}: {exc}")
+
+            flushes = [
+                env.process(guarded_flush(f), name="adaptive.flush")
+                for f in files.values()
+            ]
+            if flushes:
+                yield AllSettled(env, flushes)
+            phase["flush_end"] = env.now
+            for f in files.values():
+                yield from fs.close(f)
+            phase["close_end"] = env.now
+            phase["flush_start"] = fstart
+            return t0
+
+        done = env.process(main(), name="adaptive.main")
+        env.run(until=done)
+        t0 = done.value
+
+        durable_ranks: set = set()
+        for g in range(n_groups):
+            durable_ranks |= done_sets[g]
+        total = nbytes * n_ranks
+        bytes_durable = nbytes * len(durable_ranks)
+        bytes_lost = total - bytes_durable
+
+        open_end = phase.get("open_end", t0)
+        write_end = phase.get("write_end", open_end)
+        flush_start = phase.get("flush_start", write_end)
+        flush_end = phase.get("flush_end", flush_start)
+        close_end = phase.get("close_end", flush_end)
+        fault_extra = {
+            "n_groups": float(n_groups),
+            "busy_bounces": float(stats["busy_bounces"]),
+            "fault_retries": float(stats["retries"]),
+            "fault_aborts": float(stats["aborts"]),
+            "sc_relocations": float(stats["relocations"]),
+            "sc_adoptions": float(stats["adoptions"]),
+            "bytes_durable": bytes_durable,
+            "bytes_lost": bytes_lost,
+        }
+        fault_extra.update(faults.summary())
+        result = OutputResult(
+            transport=self.name,
+            n_writers=n_ranks,
+            total_bytes=total,
+            open_time=open_end - t0,
+            write_time=write_end - open_end,
+            flush_time=flush_end - flush_start,
+            close_time=close_end - flush_end,
+            per_writer=[t for t in timings if t is not None],
+            files=sorted(
+                paths_at.get((g, epoch_of[g]),
+                             f"/{output_name}.bp.dir/{g:04d}.bp")
+                for g in range(n_groups)
+            )
+            + [global_index_path],
+            index=global_index,
+            n_adaptive_writes=stats["adaptive_writes"],
+            messages_sent=comm.messages_sent,
+            coordinator_messages=comm.messages_by_rank.get(coord, 0),
+            extra=fault_extra,
+        )
+        ok = (
+            not run_flags["timed_out"]
+            and not flush_failures
+            and not index_failures
+            and len(durable_ranks) == n_ranks
+        )
+        if ok:
+            return self._finish(machine, result)
+        if traced:
+            tracer.close_open_spans()
+        reasons = []
+        if run_flags["timed_out"]:
+            reasons.append(f"run timeout ({policy.run_timeout:g}s) hit")
+        if faults.crashed_ranks:
+            reasons.append(f"{len(faults.crashed_ranks)} rank(s) crashed")
+        if len(durable_ranks) < n_ranks:
+            reasons.append(
+                f"{n_ranks - len(durable_ranks)} writer(s) not durable"
+            )
+        if flush_failures:
+            reasons.append(f"{len(flush_failures)} flush failure(s)")
+        if index_failures:
+            reasons.append(f"{len(index_failures)} index write failure(s)")
+        raise TransportError(
+            "adaptive output did not complete cleanly: "
+            + "; ".join(reasons),
+            bytes_durable=bytes_durable,
+            bytes_lost=bytes_lost,
+            partial=result,
+        )

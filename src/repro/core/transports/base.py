@@ -14,17 +14,18 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.index import GlobalIndex
+from repro.errors import OstFailedError, TransportError, WriteTimeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
     from repro.machines.base import Machine
 
-__all__ = ["Transport", "OutputResult", "WriterTiming"]
+__all__ = ["StaticFaultHarness", "Transport", "OutputResult", "WriterTiming"]
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,158 @@ class OutputResult:
             raise ValueError(
                 f"writer bytes {written} != total {self.total_bytes}"
             )
+
+
+class StaticFaultHarness:
+    """Fail-fast fault bookkeeping for the static transports.
+
+    The static IO methods have no retry or failover story — the
+    paper's whole point is that they cannot react to storage-target
+    trouble.  Under an installed fault plan they get *defined*
+    behaviour instead of a hang or a silent lie: every write carries
+    the policy's per-attempt timeout, a failed write records the
+    writer and moves on (no retry), the writer join is bounded by the
+    run-timeout backstop, and an unclean run raises
+    :class:`~repro.errors.TransportError` with durable/lost byte
+    accounting and the partial result attached.
+
+    With no plan installed (``machine.faults`` is None) every helper
+    collapses to the fault-free code path — same simulation events,
+    bit-identical results.
+    """
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.faults = machine.faults
+        self.write_failures: List[Tuple[int, str]] = []
+        self.flush_failures: List[str] = []
+        self.timed_out = False
+
+    @property
+    def active(self) -> bool:
+        return self.faults is not None
+
+    @property
+    def write_timeout(self) -> Optional[float]:
+        return self.faults.policy.write_timeout if self.active else None
+
+    def arm(self, procs_by_rank: Dict[int, object]) -> None:
+        """Start the plan clock and expose rank procs to rank crashes."""
+        if not self.active:
+            return
+        self.faults.arm()
+        for rank, proc in procs_by_rank.items():
+            self.faults.register(rank, proc)
+
+    def guarded_write(self, fs, f, *, node, offset, nbytes, writer,
+                      pid: str, tid: str):
+        """Generator: one write attempt; returns True iff it landed.
+
+        Failures (target fail-stopped, or hung past the policy
+        timeout) are recorded and traced, never raised — the caller's
+        process must survive so the join accounts for it.
+        """
+        env = self.machine.env
+        try:
+            yield from fs.write(
+                f, node=node, offset=offset, nbytes=nbytes, writer=writer,
+                timeout=self.write_timeout,
+            )
+        except (OstFailedError, WriteTimeout) as exc:
+            self.write_failures.append((writer, str(exc)))
+            tr = env.tracer
+            if tr is not None and tr.enabled:
+                tr.instant(
+                    "write.abort", cat="fault", pid=pid, tid=tid,
+                    args={"reason": str(exc)},
+                )
+            return False
+        return True
+
+    def join(self, procs: List[object]):
+        """Generator: wait for the writer procs.
+
+        Fault-free: plain ``all_of`` (unchanged event structure).
+        Faulted: settle-all bounded by the run-timeout backstop, so a
+        stalled protocol (e.g. a rank crashed before a barrier filled)
+        still terminates with accounting instead of deadlocking.
+        """
+        env = self.machine.env
+        if not self.active:
+            yield env.all_of(procs)
+            return
+        from repro.sim.events import AllSettled
+
+        deadline = env.timeout(self.faults.policy.run_timeout)
+        yield env.any_of([AllSettled(env, procs), deadline])
+        if deadline.processed and any(p.is_alive for p in procs):
+            self.timed_out = True
+            for p in procs:
+                if p.is_alive:
+                    p.kill("run timeout backstop")
+
+    def guarded_flush(self, fs, f):
+        """Generator: flush with the policy timeout; failures recorded."""
+        if not self.active:
+            yield from fs.flush(f)
+            return
+        try:
+            yield from fs.flush(f, timeout=self.faults.policy.flush_timeout)
+        except (OstFailedError, WriteTimeout) as exc:
+            self.flush_failures.append(str(exc))
+
+    def finalize(self, transport: "Transport",
+                 result: OutputResult) -> OutputResult:
+        """Clean run → validated result; unclean → TransportError."""
+        n_ranks = self.machine.n_ranks
+        clean = (
+            not self.timed_out
+            and not self.write_failures
+            and not self.flush_failures
+            and len(result.per_writer) == n_ranks
+        )
+        if self.active:
+            # A write acknowledged into a target's cache is only as
+            # durable as the cache: bytes a fail-stop destroyed before
+            # they drained are subtracted from the completed writes.
+            cache_lost = float(self.machine.pool.bytes_lost.sum())
+            bytes_durable = max(
+                0.0,
+                float(sum(w.nbytes for w in result.per_writer))
+                - cache_lost,
+            )
+            bytes_lost = result.total_bytes - bytes_durable
+            result.extra["bytes_durable"] = bytes_durable
+            result.extra["bytes_lost"] = bytes_lost
+            result.extra.update(self.faults.summary())
+        if clean:
+            return transport._finish(self.machine, result)
+        env = self.machine.env
+        if env.tracer is not None and env.tracer.enabled:
+            env.tracer.close_open_spans()
+        reasons = []
+        if self.timed_out:
+            reasons.append(
+                f"run timeout ({self.faults.policy.run_timeout:g}s) hit"
+            )
+        if self.write_failures:
+            reasons.append(f"{len(self.write_failures)} write failure(s)")
+        if self.flush_failures:
+            reasons.append(f"{len(self.flush_failures)} flush failure(s)")
+        if self.faults is not None and self.faults.crashed_ranks:
+            reasons.append(
+                f"{len(self.faults.crashed_ranks)} rank(s) crashed"
+            )
+        missing = n_ranks - len(result.per_writer)
+        if missing > 0:
+            reasons.append(f"{missing} writer(s) did not complete")
+        raise TransportError(
+            f"{result.transport} output did not complete cleanly: "
+            + "; ".join(reasons),
+            bytes_durable=result.extra.get("bytes_durable", 0.0),
+            bytes_lost=result.extra.get("bytes_lost", result.total_bytes),
+            partial=result,
+        )
 
 
 class Transport(abc.ABC):

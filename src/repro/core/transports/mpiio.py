@@ -29,7 +29,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.index import GlobalIndex
-from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.core.transports.base import (
+    OutputResult,
+    StaticFaultHarness,
+    Transport,
+    WriterTiming,
+)
 from repro.mpi.comm import SimComm
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,6 +84,7 @@ class MpiIoTransport(Transport):
         comm = SimComm(env, n_ranks, latency=machine.spec.latency)
         timings: List[Optional[WriterTiming]] = [None] * n_ranks
         phase = {}
+        harness = StaticFaultHarness(machine)
 
         def rank_proc(rank: int, file_ready):
             f = yield file_ready
@@ -103,15 +109,21 @@ class MpiIoTransport(Transport):
                     args={"nbytes": float(chunk),
                           "target_group": rank % stripe_count},
                 )
-            yield from fs.write(
+            landed = yield from harness.guarded_write(
+                fs,
                 f,
                 node=node,
                 offset=rank * chunk,
                 nbytes=chunk,
                 writer=rank,
+                pid=wpid,
+                tid=wtid,
             )
             if traced:
-                tr.end("write", cat="writer", pid=wpid, tid=wtid)
+                tr.end("write", cat="writer", pid=wpid, tid=wtid,
+                       args=None if landed else {"failed": True})
+            if not landed:
+                return
             timings[rank] = WriterTiming(
                 rank=rank,
                 start=start,
@@ -127,17 +139,18 @@ class MpiIoTransport(Transport):
                 env.process(rank_proc(r, file_ready), name=f"mpiio.{r}")
                 for r in range(n_ranks)
             ]
+            harness.arm({r: p for r, p in enumerate(procs)})
             # Rank 0 creates the shared file; stripe-aligned layout.
             f = yield from fs.create(
                 path, stripe_count=stripe_count, stripe_size=chunk
             )
             phase["open_end"] = env.now
             file_ready.succeed(f)
-            yield env.all_of(procs)
+            yield from harness.join(procs)
             phase["write_end"] = env.now
             # Explicit flush before close (the paper's measurement
             # protocol for the Section IV comparisons).
-            yield from fs.flush(f)
+            yield from harness.guarded_flush(fs, f)
             phase["flush_end"] = env.now
             yield from fs.close(f)
             phase["close_end"] = env.now
@@ -152,6 +165,8 @@ class MpiIoTransport(Transport):
             index = GlobalIndex()
             entries = []
             for rank in range(n_ranks):
+                if harness.active and timings[rank] is None:
+                    continue  # the rank's chunk never landed
                 entries.extend(app.index_entries(rank, rank * chunk))
             index.add_file(path, entries)
 
@@ -169,4 +184,6 @@ class MpiIoTransport(Transport):
             messages_sent=comm.messages_sent,
             extra={"stripe_count": float(stripe_count)},
         )
+        if harness.active:
+            return harness.finalize(self, result)
         return self._finish(machine, result)

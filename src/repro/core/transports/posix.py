@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.index import GlobalIndex
-from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.core.transports.base import (
+    OutputResult,
+    StaticFaultHarness,
+    Transport,
+    WriterTiming,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
@@ -69,7 +74,9 @@ class PosixTransport(Transport):
         nbytes = app.per_process_bytes
         timings: List[Optional[WriterTiming]] = [None] * n_ranks
         files: List[str] = []
+        fobjs = {}
         phase = {}
+        harness = StaticFaultHarness(machine)
 
         created = [0]
 
@@ -77,6 +84,7 @@ class PosixTransport(Transport):
             path = f"/{output_name}/rank{rank:06d}.dat"
             f = yield from fs.create(path, osts=[rank % n_osts])
             files.append(path)
+            fobjs[rank] = f
             created[0] += 1
             if created[0] == n_ranks:
                 phase["open_end"] = env.now
@@ -96,16 +104,22 @@ class PosixTransport(Transport):
                     args={"nbytes": float(nbytes),
                           "target_group": rank % n_osts},
                 )
-            rec = yield from fs.write(
+            landed = yield from harness.guarded_write(
+                fs,
                 f,
                 node=node,
                 offset=0,
                 nbytes=nbytes,
                 writer=rank,
+                pid=f"node/{node}",
+                tid=f"rank {rank}",
             )
             if traced:
                 tr.end("write", cat="writer", pid=f"node/{node}",
-                       tid=f"rank {rank}")
+                       tid=f"rank {rank}",
+                       args=None if landed else {"failed": True})
+            if not landed:
+                return f
             timings[rank] = WriterTiming(
                 rank=rank,
                 start=start,
@@ -122,18 +136,20 @@ class PosixTransport(Transport):
                 env.process(rank_proc(r, barrier_done), name=f"posix.{r}")
                 for r in range(n_ranks)
             ]
-            yield env.all_of(procs)
+            harness.arm({r: p for r, p in enumerate(procs)})
+            yield from harness.join(procs)
             phase["write_end"] = env.now
             flush_t = 0.0
             if self.include_flush:
                 fstart = env.now
-                for p in procs:
-                    f = p.value
-                    yield from fs.flush(f)
+                for r in range(n_ranks):
+                    if r in fobjs:
+                        yield from harness.guarded_flush(fs, fobjs[r])
                 flush_t = env.now - fstart
             cstart = env.now
-            for p in procs:
-                yield from fs.close(p.value)
+            for r in range(n_ranks):
+                if r in fobjs:
+                    yield from fs.close(fobjs[r])
             phase["close"] = env.now - cstart
             phase["flush"] = flush_t
             return t0
@@ -146,21 +162,26 @@ class PosixTransport(Transport):
         if self.build_index:
             index = GlobalIndex()
             for rank in range(n_ranks):
+                if harness.active and timings[rank] is None:
+                    continue  # the rank's data never landed
                 index.add_file(
                     f"/{output_name}/rank{rank:06d}.dat",
                     app.index_entries(rank, 0.0),
                 )
 
+        open_end = phase.get("open_end", phase["write_end"])
         result = OutputResult(
             transport=self.name,
             n_writers=n_ranks,
             total_bytes=nbytes * n_ranks,
-            open_time=phase["open_end"] - t0,
-            write_time=phase["write_end"] - phase["open_end"],
+            open_time=open_end - t0,
+            write_time=phase["write_end"] - open_end,
             flush_time=phase["flush"],
             close_time=phase["close"],
             per_writer=[t for t in timings if t is not None],
             files=sorted(files),
             index=index,
         )
+        if harness.active:
+            return harness.finalize(self, result)
         return self._finish(machine, result)

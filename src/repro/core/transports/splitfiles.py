@@ -21,7 +21,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.groups import GroupMap
 from repro.core.index import GlobalIndex
-from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.core.transports.base import (
+    OutputResult,
+    StaticFaultHarness,
+    Transport,
+    WriterTiming,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
@@ -67,6 +72,7 @@ class SplitFilesTransport(Transport):
         files: Dict[int, object] = {}
         paths: List[str] = []
         phase: Dict[str, float] = {}
+        harness = StaticFaultHarness(machine)
 
         def rank_proc(rank: int, files_ready):
             yield files_ready
@@ -82,16 +88,22 @@ class SplitFilesTransport(Transport):
                     tid=f"rank {rank}",
                     args={"nbytes": float(chunk), "target_group": g},
                 )
-            yield from fs.write(
+            landed = yield from harness.guarded_write(
+                fs,
                 files[g],
                 node=node,
                 offset=slot * chunk,
                 nbytes=chunk,
                 writer=rank,
+                pid=f"node/{node}",
+                tid=f"rank {rank}",
             )
             if traced:
                 tr.end("write", cat="writer", pid=f"node/{node}",
-                       tid=f"rank {rank}")
+                       tid=f"rank {rank}",
+                       args=None if landed else {"failed": True})
+            if not landed:
+                return
             timings[rank] = WriterTiming(
                 rank=rank, start=start, end=env.now, nbytes=chunk,
                 target_group=g,
@@ -104,6 +116,7 @@ class SplitFilesTransport(Transport):
                 env.process(rank_proc(r, files_ready), name=f"split.{r}")
                 for r in range(n_ranks)
             ]
+            harness.arm({r: p for r, p in enumerate(procs)})
             for g in range(n_files):
                 stripes = min(cap, machine.n_osts, groups.group_size(g))
                 path = f"/{output_name}.part{g}.bp"
@@ -114,10 +127,11 @@ class SplitFilesTransport(Transport):
                 paths.append(path)
             phase["open_end"] = env.now
             files_ready.succeed()
-            yield env.all_of(procs)
+            yield from harness.join(procs)
             phase["write_end"] = env.now
             flushes = [
-                env.process(fs.flush(f), name="split.flush")
+                env.process(harness.guarded_flush(fs, f),
+                            name="split.flush")
                 for f in files.values()
             ]
             yield env.all_of(flushes)
@@ -137,6 +151,8 @@ class SplitFilesTransport(Transport):
             for g in range(n_files):
                 entries = []
                 for slot, rank in enumerate(groups.ranks_in(g)):
+                    if harness.active and timings[rank] is None:
+                        continue  # the rank's chunk never landed
                     entries.extend(app.index_entries(rank, slot * chunk))
                 index.add_file(paths[g], entries)
 
@@ -153,4 +169,6 @@ class SplitFilesTransport(Transport):
             index=index,
             extra={"n_files": float(n_files)},
         )
+        if harness.active:
+            return harness.finalize(self, result)
         return self._finish(machine, result)

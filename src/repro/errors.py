@@ -5,10 +5,13 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "FaultPlanError",
     "FileSystemError",
     "FileNotFoundInNamespace",
     "FileExistsInNamespace",
     "StripeLimitExceeded",
+    "OstFailedError",
+    "WriteTimeout",
     "ProtocolError",
     "TransportError",
 ]
@@ -42,9 +45,59 @@ class StripeLimitExceeded(FileSystemError, ValueError):
     """
 
 
+class OstFailedError(FileSystemError):
+    """An operation touched a fail-stopped storage target.
+
+    Raised synchronously when a write targets an OST already marked
+    FAILED, and delivered asynchronously (the flow's completion event
+    fails) to writes in flight when the target dies under them.
+    """
+
+    def __init__(self, ost: int, message: str = ""):
+        super().__init__(message or f"ost {ost} failed")
+        self.ost = ost
+
+
+class WriteTimeout(FileSystemError):
+    """A write or flush did not complete within its deadline.
+
+    The usual symptom of a *hung* storage target: the request was
+    accepted (flows started, maybe some bytes absorbed) but completion
+    never came.  ``undelivered`` counts the bytes still in flight when
+    the deadline expired.
+    """
+
+    def __init__(self, message: str, undelivered: float = 0.0):
+        super().__init__(message)
+        self.undelivered = undelivered
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault plan is malformed or references unknown targets."""
+
+
 class ProtocolError(ReproError):
     """An adaptive-IO protocol invariant was violated."""
 
 
 class TransportError(ReproError):
-    """A transport failed to complete an output operation."""
+    """A transport failed to complete an output operation.
+
+    Fault-aware transports attach a partial-output accounting: how many
+    bytes made it durably to live storage (``bytes_durable``), how many
+    are known lost (``bytes_lost``), and — when the run got far enough
+    to assemble one — the partial :class:`OutputResult` (``partial``,
+    unvalidated: its invariants may legitimately not hold).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        bytes_durable: float = 0.0,
+        bytes_lost: float = 0.0,
+        partial: object = None,
+    ):
+        super().__init__(message)
+        self.bytes_durable = float(bytes_durable)
+        self.bytes_lost = float(bytes_lost)
+        self.partial = partial

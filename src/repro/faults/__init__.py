@@ -1,0 +1,85 @@
+"""Deterministic fault injection.
+
+Failure is a first-class simulated phenomenon: a
+:class:`~repro.faults.plan.FaultPlan` (pure data, JSON-serializable)
+describes *what* goes wrong and when — OST fail-stop, hang, brownout,
+rank crashes, message loss/delay, or a seeded stochastic MTBF/MTTR
+model — and a :class:`~repro.faults.injector.FaultInjector` applies it
+to one machine build.  Transports consult ``machine.faults`` to decide
+whether to run their hardened (timeout/retry/failover) paths; with no
+plan installed, behaviour is bit-identical to a fault-free build.
+
+Plans reach machine builds three ways, mirroring the tracer:
+explicitly (``MachineSpec.build(..., faults=plan)``), through the
+process-wide registry (:func:`with_faults` /
+:func:`set_active_fault_plan`), or via the ``REPRO_FAULTS`` environment
+variable naming a plan JSON file.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+    two_ost_failure_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "get_active_fault_plan",
+    "resolve_fault_plan",
+    "set_active_fault_plan",
+    "two_ost_failure_plan",
+    "with_faults",
+]
+
+# -- active-plan registry --------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def set_active_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with None) the process-wide active fault plan."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def get_active_fault_plan() -> Optional[FaultPlan]:
+    """The plan newly built machines pick up, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def with_faults(plan: FaultPlan):
+    """Scope in which every machine built picks up *plan*."""
+    previous = get_active_fault_plan()
+    set_active_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_active_fault_plan(previous)
+
+
+def resolve_fault_plan(
+    explicit: Optional[FaultPlan] = None,
+) -> Optional[FaultPlan]:
+    """Resolution order: explicit arg > active registry > REPRO_FAULTS."""
+    if explicit is not None:
+        return explicit
+    active = get_active_fault_plan()
+    if active is not None:
+        return active
+    path = os.environ.get("REPRO_FAULTS")
+    if path:
+        return FaultPlan.from_json(path)
+    return None

@@ -1,0 +1,175 @@
+"""The live fault injector bound to one machine build.
+
+Turns a materialized :class:`~repro.faults.plan.FaultPlan` timeline
+into simulation-calendar callbacks that drive the storage pool's fault
+state, error in-flight fabric flows, kill registered rank processes,
+and perturb control messages.  Everything is deterministic: the
+timeline is fixed at arm time and message-loss draws come from a
+dedicated RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lustre.filesystem import FileSystem
+    from repro.sim.engine import Environment
+    from repro.sim.process import Process
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a fault timeline to a live machine.
+
+    Parameters
+    ----------
+    env, fs:
+        The machine's environment and file system (the pool and fabric
+        are reached through ``fs``).
+    plan:
+        The declarative plan; its stochastic part is expanded here.
+    rngs:
+        The machine's :class:`~repro.sim.rng.RngRegistry`; the
+        ``"faults"`` stream materializes the timeline and
+        ``"faults.msg"`` draws message-loss coin flips.
+    n_ranks:
+        Communicator size, for crash-target validation.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        fs: "FileSystem",
+        plan: FaultPlan,
+        rngs,
+        n_ranks: int,
+    ):
+        self.env = env
+        self.fs = fs
+        self.plan = plan
+        self.policy = plan.policy
+        self.timeline: Tuple[FaultEvent, ...] = plan.materialize(
+            rngs.get("faults"), fs.pool.n_sinks, n_ranks
+        )
+        self._msg_rng = rngs.get("faults.msg")
+        self.crashed_ranks: Set[int] = set()
+        self.injected: List[Tuple[float, FaultEvent]] = []
+        self.msg_loss_p = 0.0
+        self.msg_delay_extra = 0.0
+        self.messages_dropped = 0
+        self._procs: Dict[int, List["Process"]] = {}
+        self._armed = False
+
+    # -- lifecycle --------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every timeline event on the simulation calendar.
+
+        Idempotent per injector; transports call this once the run
+        starts so ``time`` in the plan is relative to output start.
+        """
+        if self._armed:
+            return
+        self._armed = True
+        for ev in self.timeline:
+            self.env.schedule_callback(
+                ev.time, lambda _ev=ev: self._apply(_ev)
+            )
+
+    def register(self, rank: int, proc: "Process") -> None:
+        """Associate a process with a rank for ``crash_rank`` faults."""
+        if rank in self.crashed_ranks:
+            proc.kill(f"rank {rank} already crashed")
+            return
+        self._procs.setdefault(rank, []).append(proc)
+
+    # -- message perturbation (consulted by SimComm) ----------------------
+    def perturb_send(self, source: int, dest: int) -> Optional[float]:
+        """Extra latency for a message, or None to drop it.
+
+        Messages from or to a crashed rank are always dropped — a dead
+        process neither sends nor receives.
+        """
+        if source in self.crashed_ranks or dest in self.crashed_ranks:
+            self.messages_dropped += 1
+            return None
+        if self.msg_loss_p > 0.0:
+            if float(self._msg_rng.random()) < self.msg_loss_p:
+                self.messages_dropped += 1
+                return None
+        return self.msg_delay_extra
+
+    # -- injection --------------------------------------------------------
+    def _trace(self, name: str, ev: FaultEvent) -> None:
+        tr = self.env.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                name,
+                cat="fault",
+                pid="faults",
+                tid=ev.kind,
+                args={
+                    "kind": ev.kind,
+                    "target": ev.target,
+                    "factor": float(ev.factor),
+                },
+            )
+
+    def _apply(self, ev: FaultEvent) -> None:
+        pool = self.fs.pool
+        self.injected.append((self.env.now, ev))
+        self._trace("fault.inject" if ev.kind != "ost_recover"
+                    else "fault.recover", ev)
+        if ev.kind == "ost_fail":
+            lost = pool.fail_ost(ev.target)
+            # In-flight transfers error out; waiters see OstFailedError.
+            undelivered = self.fs.fabric.fail_sink(ev.target)
+            tr = self.env.tracer
+            if tr is not None and tr.enabled:
+                tr.instant(
+                    "ost.failstop", cat="fault", pid=f"ost/{ev.target}",
+                    tid="state",
+                    args={"cache_lost": lost, "undelivered": undelivered},
+                )
+        elif ev.kind == "ost_hang":
+            pool.hang_ost(ev.target)
+        elif ev.kind == "ost_brownout":
+            pool.brownout_ost(ev.target, ev.factor)
+        elif ev.kind == "ost_recover":
+            pool.recover_ost(ev.target)
+        elif ev.kind == "crash_rank":
+            self.crashed_ranks.add(ev.target)
+            for proc in self._procs.get(ev.target, ()):  # registered roles
+                if proc.is_alive:
+                    proc.kill(f"rank {ev.target} crashed")
+        elif ev.kind == "msg_loss":
+            self.msg_loss_p = float(ev.factor)
+        elif ev.kind == "msg_delay":
+            self.msg_delay_extra = float(ev.factor)
+        if ev.duration is not None and ev.kind != "ost_recover":
+            self.env.schedule_callback(
+                ev.duration, lambda _ev=ev: self._revert(_ev)
+            )
+
+    def _revert(self, ev: FaultEvent) -> None:
+        pool = self.fs.pool
+        self._trace("fault.recover", ev)
+        if ev.kind in ("ost_fail", "ost_hang", "ost_brownout"):
+            pool.recover_ost(ev.target)
+        elif ev.kind == "msg_loss":
+            self.msg_loss_p = 0.0
+        elif ev.kind == "msg_delay":
+            self.msg_delay_extra = 0.0
+        # crash_rank has no revert: dead processes stay dead.
+
+    # -- accounting -------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n_injected": float(len(self.injected)),
+            "n_crashed_ranks": float(len(self.crashed_ranks)),
+            "messages_dropped": float(self.messages_dropped),
+            "bytes_lost_cache": float(self.fs.pool.bytes_lost.sum()),
+        }

@@ -22,12 +22,14 @@ from repro.errors import (
     FileExistsInNamespace,
     FileNotFoundInNamespace,
     FileSystemError,
+    OstFailedError,
     StripeLimitExceeded,
+    WriteTimeout,
 )
 from repro.lustre.file import SimFile, WriteRecord
 from repro.lustre.layout import StripeLayout
 from repro.lustre.mds import MetadataServer
-from repro.lustre.ost import OstPool
+from repro.lustre.ost import OstPool, OstState
 from repro.net.fabric import FlowNetwork
 from repro.units import MB
 
@@ -140,6 +142,27 @@ class FileSystem:
             self._alloc_cursor = (start + stripe_count) % n
         return osts
 
+    def allocate_healthy_osts(self, stripe_count: int) -> List[int]:
+        """Round-robin allocation restricted to live (UP/DEGRADED) targets.
+
+        The relocation path after a fail-stop: a replacement file must
+        not land back on the target that just died.  Deterministic — the
+        same filesystem-wide cursor rotates over the healthy subset.
+        """
+        healthy = np.nonzero(self.pool.healthy())[0]
+        if stripe_count > healthy.size:
+            raise StripeLimitExceeded(
+                f"stripe_count {stripe_count} exceeds {healthy.size} "
+                f"healthy targets ({self.n_osts - healthy.size} down)"
+            )
+        start = self._alloc_cursor % healthy.size
+        osts = [
+            int(healthy[(start + i) % healthy.size])
+            for i in range(stripe_count)
+        ]
+        self._alloc_cursor = (self._alloc_cursor + stripe_count) % self.n_osts
+        return osts
+
     def create(
         self,
         path: str,
@@ -202,12 +225,21 @@ class FileSystem:
         nbytes: float,
         writer: Optional[int] = None,
         payload: object = None,
+        timeout: Optional[float] = None,
     ) -> Generator:
         """Write ``nbytes`` at ``offset`` from ``node``; returns WriteRecord.
 
         Completion means absorption by the target OSTs (cache or disk);
         use :meth:`flush` for durability.  Returns the record, whose
         duration is the paper's "write time".
+
+        Failure semantics: a write touching a FAILED target raises
+        :class:`OstFailedError` — up front if the target is already
+        dead, or at the yield point if it dies mid-transfer.  With
+        ``timeout`` set, a write that has not completed by the deadline
+        (the signature of a HUNG target) cancels its remaining flows
+        and raises :class:`WriteTimeout`.  Either way sibling flows are
+        withdrawn, so a failed write leaves nothing in flight.
         """
         spans = f.layout.span_list(offset, nbytes)
         if len(spans) > self.max_flows_per_write:
@@ -216,13 +248,20 @@ class FileSystem:
                 f"{self.max_flows_per_write}; use a stripe-aligned layout "
                 f"(stripe_size >= chunk size) or raise the limit"
             )
+        if self.pool.faults_active:
+            for ost, _b in spans:
+                if self.pool.state[ost] == OstState.FAILED:
+                    raise OstFailedError(
+                        ost, f"write to failed ost {ost} rejected"
+                    )
         start = self.env.now
         if spans:
             tr = self.env.tracer
             traced = tr is not None and tr.enabled
             events = []
+            fids = []
             for ost, b in spans:
-                ev = self.fabric.start_flow(node, ost, b)
+                ev, fid = self.fabric.start_flow_with_id(node, ost, b)
                 if traced:
                     tid = f"writer {node if writer is None else writer}"
                     tr.begin(
@@ -240,7 +279,32 @@ class FileSystem:
 
                     ev.add_callback(_end)
                 events.append(ev)
-            yield self.env.all_of(events)
+                fids.append(fid)
+            done = self.env.all_of(events)
+            if timeout is None:
+                try:
+                    yield done
+                except FileSystemError:
+                    self._withdraw_flows(fids)
+                    raise
+            else:
+                timer = self.env.timeout(timeout)
+                try:
+                    yield self.env.any_of([done, timer])
+                except FileSystemError:
+                    if not timer.processed:
+                        timer.cancel()
+                    self._withdraw_flows(fids)
+                    raise
+                if not done.triggered:
+                    undelivered = self._withdraw_flows(fids)
+                    raise WriteTimeout(
+                        f"write of {nbytes:.0f} B at offset {offset:.0f} "
+                        f"timed out after {timeout} s",
+                        undelivered=undelivered,
+                    )
+                if not timer.processed:
+                    timer.cancel()
         record = WriteRecord(
             offset=offset,
             nbytes=nbytes,
@@ -250,6 +314,14 @@ class FileSystem:
         )
         f.record_write(record, payload=payload)
         return record
+
+    def _withdraw_flows(self, fids: List[int]) -> float:
+        """Cancel whichever of *fids* are still in flight; bytes undelivered."""
+        undelivered = 0.0
+        for fid in fids:
+            if fid in self.fabric._records:
+                undelivered += self.fabric.cancel_flow(fid)
+        return undelivered
 
     def read(
         self, f: SimFile, node: int, offset: float, nbytes: float
@@ -279,7 +351,10 @@ class FileSystem:
         return self.pool.bytes_absorbed.copy()
 
     def flush(
-        self, f: SimFile, marker: Optional[np.ndarray] = None
+        self,
+        f: SimFile,
+        marker: Optional[np.ndarray] = None,
+        timeout: Optional[float] = None,
     ) -> Generator:
         """Wait until the file's absorbed bytes are durable.
 
@@ -290,23 +365,45 @@ class FileSystem:
         before watermark ``marker`` (default: now) are durable once
         cumulative drained bytes pass ``marker - stable_bytes``.
         Returns elapsed seconds.
+
+        A flush involving a FAILED target raises
+        :class:`OstFailedError` (its dirty bytes are gone — durability
+        is unachievable).  With ``timeout`` set, a flush stalled past
+        the deadline (a HUNG target drains at rate zero) raises
+        :class:`WriteTimeout` instead of re-arming its wait forever.
         """
         osts = set(f.layout.osts)
         if marker is None:
             marker = self.flush_marker(f)
         start = self.env.now
+        deadline = None if timeout is None else start + timeout
         idx = np.fromiter(osts, dtype=np.int64)
         stable = self.pool.config.stable_bytes
         while True:
             self.fabric.invalidate()
+            if self.pool.faults_active:
+                for o in idx:
+                    if self.pool.state[o] == OstState.FAILED:
+                        raise OstFailedError(
+                            int(o), f"flush: ost {int(o)} failed"
+                        )
             deficit = (
                 marker[idx] - stable - self.pool.bytes_drained[idx]
             )
             worst = float(deficit.max()) if deficit.size else 0.0
             if worst <= _FLUSH_EPS:
                 return self.env.now - start
+            if deadline is not None and self.env.now >= deadline - 1e-9:
+                undelivered = float(np.clip(deficit, 0.0, None).sum())
+                raise WriteTimeout(
+                    f"flush did not settle within {timeout} s "
+                    f"(worst per-ost deficit {worst:.0f} B)",
+                    undelivered=undelivered,
+                )
             rates = self.pool.drain_rates()[idx]
             t = float(np.max(deficit / np.maximum(rates, 1.0)))
+            if deadline is not None:
+                t = min(t, deadline - self.env.now)
             yield self.env.timeout(max(t, 1e-6))
 
     # -- stats -------------------------------------------------------------

@@ -29,9 +29,32 @@ import numpy as np
 
 from repro.units import GB, MB
 
-__all__ = ["EfficiencyCurve", "OstPoolConfig", "OstPool"]
+__all__ = ["EfficiencyCurve", "OstPoolConfig", "OstPool", "OstState"]
 
 _LEVEL_EPS = 1.0  # bytes: cache-level comparisons tolerance
+
+
+class OstState:
+    """Health states of a storage target (int8 codes in ``OstPool.state``).
+
+    UP        — normal operation.
+    DEGRADED  — brownout: drain bandwidth scaled by a fault factor.
+    HUNG      — requests accepted but never complete (ingest and drain
+                both pinned to zero) until recovery.
+    FAILED    — fail-stop: in-flight and future writes error; cached
+                dirty bytes are lost.
+    """
+
+    UP = 0
+    DEGRADED = 1
+    HUNG = 2
+    FAILED = 3
+
+    NAMES = ("UP", "DEGRADED", "HUNG", "FAILED")
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls.NAMES[int(code)]
 
 
 class EfficiencyCurve:
@@ -193,6 +216,13 @@ class OstPool:
         self._last_counts = np.zeros(n, dtype=np.int64)
         self.bytes_absorbed = np.zeros(n)  # cumulative ingest per OST
         self.bytes_drained = np.zeros(n)  # cumulative cache->disk per OST
+        self.state = np.zeros(n, dtype=np.int8)  # OstState codes
+        self.fault_mult = np.ones(n)  # drain-stage fault scaling
+        self._ingest_gate = np.ones(n)  # 0.0 while hung/failed
+        self.bytes_lost = np.zeros(n)  # dirty bytes lost to fail-stop
+        # Sticky flag: once any fault API has been touched, write-path
+        # health checks stay on; fault-free runs never pay for them.
+        self.faults_active = False
         self._on_change = None  # fabric.invalidate, wired by FileSystem
         self._tracer = None  # wired by Machine.attach_tracer
 
@@ -245,12 +275,71 @@ class OstPool:
         if self._on_change is not None:
             self._on_change()
 
+    # -- fault state ------------------------------------------------------
+    def fail_ost(self, ost: int) -> float:
+        """Fail-stop a target: its cached dirty bytes are lost.
+
+        Returns the bytes lost.  The caller (fault injector) is
+        responsible for erroring in-flight fabric flows; the pool only
+        manages storage-side state.
+        """
+        i = int(ost)
+        self.faults_active = True
+        self.state[i] = OstState.FAILED
+        self.fault_mult[i] = 0.0
+        self._ingest_gate[i] = 0.0
+        lost = float(self.cache_level[i])
+        self.bytes_lost[i] += lost
+        self.cache_level[i] = 0.0
+        self._full[i] = False
+        if self._on_change is not None:
+            self._on_change()
+        return lost
+
+    def hang_ost(self, ost: int) -> None:
+        """Hang a target: ingest and drain stop, cache contents held."""
+        i = int(ost)
+        self.faults_active = True
+        self.state[i] = OstState.HUNG
+        self.fault_mult[i] = 0.0
+        self._ingest_gate[i] = 0.0
+        if self._on_change is not None:
+            self._on_change()
+
+    def brownout_ost(self, ost: int, factor: float) -> None:
+        """Scale a target's drain bandwidth by ``factor`` (DEGRADED)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"brownout factor must be in (0, 1], got {factor}")
+        i = int(ost)
+        self.faults_active = True
+        self.state[i] = OstState.DEGRADED
+        self.fault_mult[i] = float(factor)
+        self._ingest_gate[i] = 1.0
+        if self._on_change is not None:
+            self._on_change()
+
+    def recover_ost(self, ost: int) -> None:
+        """Return a target to UP (a failed target comes back empty)."""
+        i = int(ost)
+        self.state[i] = OstState.UP
+        self.fault_mult[i] = 1.0
+        self._ingest_gate[i] = 1.0
+        if self._on_change is not None:
+            self._on_change()
+
+    def healthy(self) -> np.ndarray:
+        """Boolean mask of targets accepting writes (UP or DEGRADED)."""
+        return self.state <= OstState.DEGRADED
+
+    def is_failed(self, ost: int) -> bool:
+        return self.state[int(ost)] == OstState.FAILED
+
     # -- SinkPool protocol -------------------------------------------------
     def _drain_rates(self, counts: np.ndarray) -> np.ndarray:
         # Cached bytes keep draining after their writers finish; a quiet
         # disk drains like a single sequential stream.
         eff = self.config.drain_curve(np.maximum(counts, 1))
-        return self.config.drain_peak * eff * self.load_mult
+        return self.config.drain_peak * eff * self.load_mult * self.fault_mult
 
     def advance(self, dt: float, inflow: np.ndarray, now: float) -> None:
         if dt <= 0:
@@ -294,6 +383,7 @@ class OstPool:
             self.config.ingest_peak
             * self.config.ingest_curve(np.maximum(counts, 1))
             * self.ingest_mult
+            * self._ingest_gate
         )
         return np.where(self._full, np.minimum(drain, ingest), ingest)
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector, FaultPlan
     from repro.trace.tracer import Tracer
 
 from repro.errors import ConfigurationError
@@ -63,6 +64,7 @@ class MachineSpec:
         placement: str = "packed",
         extra_service_nodes: int = 0,
         tracer: Optional["Tracer"] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> "Machine":
         """Instantiate the machine for a job of ``n_ranks`` processes.
 
@@ -75,6 +77,11 @@ class MachineSpec:
         process-wide active tracer (``repro.trace.tracing``) is used if
         one is installed, so harnesses can trace whole sweeps without
         threading the tracer through every call site.
+
+        ``faults`` installs a fault plan; when omitted the process-wide
+        active plan (``repro.faults.with_faults``) or a plan file named
+        by ``REPRO_FAULTS`` is used.  With no plan from any source,
+        ``machine.faults`` is None and all fault machinery is off.
         """
         if n_ranks < 1:
             raise ConfigurationError("n_ranks must be >= 1")
@@ -136,6 +143,13 @@ class MachineSpec:
             tracer = env.tracer
         if tracer is not None:
             machine.attach_tracer(tracer)
+        from repro.faults import FaultInjector, resolve_fault_plan
+
+        plan = resolve_fault_plan(faults)
+        if plan is not None:
+            machine.faults = FaultInjector(
+                env, fs, plan, rngs, n_ranks=n_ranks
+            )
         return machine
 
 
@@ -151,6 +165,7 @@ class Machine:
     rngs: RngRegistry
     service_node_base: int = 0
     n_service_nodes: int = 0
+    faults: Optional["FaultInjector"] = None
 
     def attach_tracer(self, tracer: "Tracer") -> None:
         """Bind a tracer to every traced layer of this machine."""

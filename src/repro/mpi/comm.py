@@ -95,6 +95,9 @@ class SimComm:
         self._barriers: Dict[str, Tuple[int, Event]] = {}
         self.messages_sent = 0
         self.messages_by_rank: Dict[int, int] = {}
+        # Optional fault hook (a FaultInjector): consulted per send for
+        # loss/extra delay.  None in fault-free runs — zero overhead.
+        self.faults = None
 
     def _check_rank(self, rank: int, what: str = "rank") -> None:
         if not 0 <= rank < self.n_ranks:
@@ -121,6 +124,14 @@ class SimComm:
         self.messages_by_rank[source] = self.messages_by_rank.get(source, 0) + 1
         delay = self.latency.point_to_point(nbytes)
         done = Event(self.env)
+        if self.faults is not None:
+            extra = self.faults.perturb_send(source, dest)
+            if extra is None:
+                # Dropped on the wire: sends are fire-and-forget, so the
+                # message simply never arrives (the returned event stays
+                # pending forever — nobody waits on it).
+                return done
+            delay += extra
 
         def deliver() -> None:
             msg = Message(

@@ -344,6 +344,20 @@ class FlowNetwork:
         flow_cap: Optional[float] = None,
     ) -> Event:
         """Begin a transfer; the returned event fires with a FlowStats."""
+        return self.start_flow_with_id(source, sink, nbytes, flow_cap)[0]
+
+    def start_flow_with_id(
+        self,
+        source: int,
+        sink: int,
+        nbytes: float,
+        flow_cap: Optional[float] = None,
+    ) -> Tuple[Event, int]:
+        """Like :meth:`start_flow` but also returns the flow id.
+
+        Fault-aware callers keep the id so they can :meth:`cancel_flow`
+        a transfer whose deadline expired.
+        """
         if not 0 <= source < self.n_sources:
             raise IndexError(f"source {source} out of range")
         if not 0 <= sink < self.n_sinks:
@@ -357,7 +371,7 @@ class FlowNetwork:
             ev.succeed(
                 FlowStats(fid, source, sink, nbytes, self.env.now, self.env.now)
             )
-            return ev
+            return ev, fid
         slot = self._alloc_slot()
         self._src[slot] = source
         self._dst[slot] = sink
@@ -383,7 +397,7 @@ class FlowNetwork:
                 args={"source": source, "nbytes": float(nbytes)},
             )
         self._settle()
-        return ev
+        return ev, fid
 
     def cancel_flow(self, flow_id: int) -> float:
         """Abort a flow; returns the bytes left undelivered.
@@ -414,6 +428,50 @@ class FlowNetwork:
         ev.abort(("cancelled", flow_id))
         self._settle()
         return left
+
+    def fail_sink(self, sink: int) -> float:
+        """Fail every in-flight flow to *sink* (fail-stop semantics).
+
+        Each affected flow's event **fails** with
+        :class:`~repro.errors.OstFailedError` — waiters see the error
+        raised at their yield point instead of the completion silently
+        never arriving.  Returns the total bytes left undelivered.
+        """
+        from repro.errors import OstFailedError
+
+        self._advance_only()
+        act = np.nonzero(self._active)[0]
+        victims = act[self._dst[act] == sink]
+        if victims.size == 0:
+            self._settle()
+            return 0.0
+        tr = self.env.tracer
+        traced = tr is not None and tr.enabled
+        total_left = 0.0
+        for slot in victims:
+            slot = int(slot)
+            fid = self._id_of_slot.pop(slot)
+            ev, _nbytes, _t0 = self._records.pop(fid)
+            del self._slot_of[fid]
+            left = float(self._remaining[slot])
+            total_left += left
+            self._active[slot] = False
+            self._rate[slot] = 0.0
+            self._free.append(slot)
+            self._counts[self._dst[slot]] -= 1
+            self._src_counts[self._src[slot]] -= 1
+            if traced:
+                tr.end(
+                    "flow",
+                    cat="fabric",
+                    pid=f"ost/{sink}",
+                    tid=f"flow {fid}",
+                    args={"failed": True, "undelivered": left},
+                )
+            ev.fail(OstFailedError(sink, f"ost {sink} failed mid-transfer"))
+        self._flowset_gen += 1
+        self._settle()
+        return total_left
 
     def invalidate(self) -> None:
         """Force a resettle now (a capacity changed out-of-band)."""

@@ -27,19 +27,22 @@ Example
 
 from repro.sim.events import (
     AllOf,
+    AllSettled,
     AnyOf,
     Event,
     EventAborted,
     Timeout,
 )
 from repro.sim.process import Interrupt, Process, ProcessKilled
-from repro.sim.engine import Environment, SimulationError, StopSimulation
+from repro.sim.engine import Deadlock, Environment, SimulationError, StopSimulation
 from repro.sim.queues import PriorityStore, Resource, Store
 from repro.sim.rng import RngRegistry
 
 __all__ = [
     "AllOf",
+    "AllSettled",
     "AnyOf",
+    "Deadlock",
     "Environment",
     "Event",
     "EventAborted",

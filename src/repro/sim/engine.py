@@ -11,7 +11,7 @@ from repro.sim.process import Process
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.tracer import Tracer
 
-__all__ = ["Environment", "StopSimulation", "SimulationError"]
+__all__ = ["Environment", "StopSimulation", "SimulationError", "Deadlock"]
 
 
 class StopSimulation(Exception):
@@ -25,6 +25,27 @@ class SimulationError(RuntimeError):
         super().__init__(f"process {process.name!r} crashed: {cause!r}")
         self.process = process
         self.cause = cause
+
+
+class Deadlock(RuntimeError):
+    """The event calendar drained while processes were still waiting.
+
+    The classic symptom of a hung storage target with no timeout armed
+    anywhere: every live process is parked on an event nothing will
+    ever fire.  Carries the list of unfinished processes so the report
+    names the suspects instead of just "ran out of events".
+    """
+
+    def __init__(self, processes: "list[Process]", detail: str = ""):
+        names = ", ".join(sorted(p.name for p in processes)) or "none"
+        msg = (
+            f"deadlock: event calendar empty with "
+            f"{len(processes)} live waiting process(es): {names}"
+        )
+        if detail:
+            msg = f"{msg} ({detail})"
+        super().__init__(msg)
+        self.processes = list(processes)
 
 
 class Environment:
@@ -55,6 +76,7 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._live: set = set()  # processes spawned but not yet finished
         self.strict = strict
         self._crashed: Optional[SimulationError] = None
         self.tracer: Optional["Tracer"] = None
@@ -150,6 +172,29 @@ class Environment:
         if self._crashed is None:
             self._crashed = SimulationError(process, cause)
 
+    # -- liveness ---------------------------------------------------------
+    def unfinished_processes(self) -> "list[Process]":
+        """Processes that have been spawned but have not yet finished.
+
+        After :meth:`run` returns (or raises), anything listed here was
+        still parked on an event — the starting point for diagnosing a
+        hang or partial run.
+        """
+        return [p for p in self._live if p.is_alive]
+
+    def check_deadlock(self) -> None:
+        """Raise :class:`Deadlock` if the calendar is empty but processes wait.
+
+        Cheap enough to call after any :meth:`run` that returned without
+        its awaited condition: an empty calendar with live processes
+        means nothing will ever wake them.
+        """
+        if self.peek() != float("inf"):
+            return
+        waiting = self.unfinished_processes()
+        if waiting:
+            raise Deadlock(waiting)
+
     # -- run loop -----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if idle.
@@ -243,8 +288,9 @@ class Environment:
         except StopSimulation:
             pass
         if stop_event is not None:
-            raise RuntimeError(
-                "simulation ran out of events before the awaited event fired"
+            raise Deadlock(
+                self.unfinished_processes(),
+                detail="calendar drained before the awaited event fired",
             )
         if stop_time != float("inf"):
             self._now = stop_time

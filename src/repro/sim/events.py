@@ -22,7 +22,15 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Environment
 
-__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "EventAborted"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "AllSettled",
+    "EventAborted",
+]
 
 _PENDING = object()
 
@@ -234,3 +242,27 @@ class AnyOf(Condition):
 
     def _evaluate(self, n_fired: int) -> bool:
         return n_fired >= 1
+
+
+class AllSettled(Condition):
+    """Fires once every sub-event has *settled* — succeeded or failed.
+
+    Unlike :class:`AllOf`, a failing sub-event does not fail the
+    condition: it is collected like any other outcome.  The value maps
+    each sub-event to its value (the exception instance for failed
+    sub-events), in settling order.  This is the join primitive for
+    fault-tolerant shutdown: "wait for every worker to finish, however
+    it finished".
+    """
+
+    __slots__ = ()
+
+    def _evaluate(self, n_fired: int) -> bool:
+        return n_fired == len(self.events)
+
+    def _on_sub_event(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        self._fired.append(ev)
+        if self._evaluate(len(self._fired)):
+            self.succeed(self._collect())

@@ -65,6 +65,7 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        env._live.add(self)
         # Bootstrap: resume once at the current sim time.
         init = Event(env)
         init._ok = True
@@ -119,6 +120,7 @@ class Process(Event):
                 pass
         self.generator.close()
         self.fail(ProcessKilled(cause))
+        self.env._live.discard(self)
 
     # -- kernel resume paths --------------------------------------------
     def _resume_with_interrupt(self, kick: Event) -> None:
@@ -143,13 +145,13 @@ class Process(Event):
                 target = self.generator.send(send)
         except StopIteration as stop:
             self.succeed(stop.value)
+            env._live.discard(self)
             return
         except BaseException as exc:
+            self.fail(exc)
+            env._live.discard(self)
             if env.strict:
-                self.fail(exc)
                 env._crash(self, exc)
-            else:
-                self.fail(exc)
             return
         finally:
             env._active_process = None
@@ -161,6 +163,7 @@ class Process(Event):
             )
             self.generator.close()
             self.fail(err)
+            env._live.discard(self)
             if env.strict:
                 env._crash(self, err)
             return
@@ -168,6 +171,7 @@ class Process(Event):
             err = ValueError(f"{self.name}: yielded event from foreign environment")
             self.generator.close()
             self.fail(err)
+            env._live.discard(self)
             if env.strict:
                 env._crash(self, err)
             return

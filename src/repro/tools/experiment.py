@@ -61,6 +61,12 @@ def _fig7(scale, seed):
     return fig7.run(scale, seed).render()
 
 
+def _resilience(scale, seed):
+    from repro.harness.figures import resilience
+
+    return resilience.run(scale, seed).render()
+
+
 ARTIFACTS: Dict[str, Callable] = {
     "fig1": _fig1,
     "table1": _table1,
@@ -69,6 +75,7 @@ ARTIFACTS: Dict[str, Callable] = {
     "fig5": _fig5,
     "fig6": _fig6,
     "fig7": _fig7,
+    "resilience": _resilience,
 }
 
 
@@ -105,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="export a Chrome trace-event JSON of every simulation "
         "run (open in Perfetto; summarize with repro.tools.trace)",
     )
+    parser.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="inject faults from a FaultPlan JSON into every "
+        "simulation run (equivalent to setting REPRO_FAULTS; the "
+        "resilience artifact builds its own plans and ignores this)",
+    )
     return parser
 
 
@@ -116,6 +129,15 @@ def main(argv=None) -> int:
         import os
 
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.faults is not None:
+        # Same propagation trick: machine builds (local and in worker
+        # processes) resolve REPRO_FAULTS when no explicit plan is set.
+        import os
+
+        from repro.faults import FaultPlan
+
+        FaultPlan.from_json(args.faults)  # fail fast on a bad plan
+        os.environ["REPRO_FAULTS"] = args.faults
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
 
     def run_all() -> None:

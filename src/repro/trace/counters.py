@@ -32,6 +32,8 @@ class WriterCounters:
     bytes_written: float = 0.0
     write_count: int = 0
     adaptive_writes: int = 0
+    retries: int = 0  # write.retry fault instants (timeout + backoff)
+    aborts: int = 0  # write.abort fault instants (gave up)
     time: Dict[str, float] = field(
         default_factory=lambda: {p: 0.0 for p in PHASES}
     )
@@ -62,7 +64,23 @@ def per_writer_counters(events: List[TraceEvent]) -> List[WriterCounters]:
     """
     counters: Dict[Tuple[int, str], WriterCounters] = {}
     open_spans: Dict[Tuple[int, str, str, str], TraceEvent] = {}
+
+    def writer_of(ev: TraceEvent) -> WriterCounters:
+        wkey = (ev.run, ev.tid)
+        wc = counters.get(wkey)
+        if wc is None:
+            wc = WriterCounters(run=ev.run, writer=ev.tid, node=ev.pid)
+            counters[wkey] = wc
+        return wc
+
     for ev in events:
+        if ev.cat == "fault" and ev.ph == "i":
+            # Retry/abort instants the fault-tolerant write path emits.
+            if ev.name == "write.retry":
+                writer_of(ev).retries += 1
+            elif ev.name == "write.abort":
+                writer_of(ev).aborts += 1
+            continue
         if ev.cat != "writer" or ev.name not in PHASES:
             continue
         key = (ev.run, ev.pid, ev.tid, ev.name)
@@ -74,11 +92,7 @@ def per_writer_counters(events: List[TraceEvent]) -> List[WriterCounters]:
         b = open_spans.pop(key, None)
         if b is None:
             continue
-        wkey = (ev.run, ev.tid)
-        wc = counters.get(wkey)
-        if wc is None:
-            wc = WriterCounters(run=ev.run, writer=ev.tid, node=ev.pid)
-            counters[wkey] = wc
+        wc = writer_of(ev)
         wc.time[ev.name] += ev.ts - b.ts
         if ev.name == "write":
             wc.write_count += 1
@@ -124,26 +138,43 @@ def render_report(
         total_bytes = sum(w.bytes_written for w in run_wcs)
         total_writes = sum(w.write_count for w in run_wcs)
         adaptive = sum(w.adaptive_writes for w in run_wcs)
-        lines.append(
+        retries = sum(w.retries for w in run_wcs)
+        aborts = sum(w.aborts for w in run_wcs)
+        summary = (
             f"# run {run}: {len(run_wcs)} writers, "
             f"{_fmt_bytes(total_bytes)} in {total_writes} writes "
             f"({adaptive} steered adaptively)"
         )
+        # Fault columns appear only when faults actually bit: the
+        # fault-free report stays byte-identical.
+        faulty = retries > 0 or aborts > 0
+        if faulty:
+            summary += f"; {retries} retries, {aborts} aborts"
+        lines.append(summary)
         header = (
             f"{'writer':<12} {'bytes':>10} {'writes':>6} {'adapt':>5} "
+        )
+        if faulty:
+            header += f"{'retry':>5} {'abort':>5} "
+        header += (
             f"{'t_wait':>9} {'t_index':>9} {'t_write':>9} "
             f"{'slowest':>8} {'fastest':>8}"
         )
         lines.append(header)
         lines.append("-" * len(header))
         for wc in shown:
-            lines.append(
+            row = (
                 f"{wc.writer:<12} {_fmt_bytes(wc.bytes_written):>10} "
                 f"{wc.write_count:>6d} {wc.adaptive_writes:>5d} "
+            )
+            if faulty:
+                row += f"{wc.retries:>5d} {wc.aborts:>5d} "
+            row += (
                 f"{wc.time['wait']:>9.4f} {wc.time['index']:>9.4f} "
                 f"{wc.time['write']:>9.4f} "
                 f"{wc.slowest_phase:>8} {wc.fastest_phase:>8}"
             )
+            lines.append(row)
         if shown is not run_wcs and len(shown) < len(run_wcs):
             lines.append(
                 f"... {len(run_wcs) - len(shown)} more writers "

@@ -224,6 +224,40 @@ class Tracer:
         finally:
             self.end(name, cat, pid, tid)
 
+    def close_open_spans(self, ts: Optional[float] = None) -> int:
+        """Close every still-open ``B`` span of the current run.
+
+        When a transport aborts mid-run (a fault made it raise), the
+        processes holding spans open never reach their ``end()`` calls
+        and the Chrome trace would carry dangling ``B`` events.  This
+        appends matching ``E`` events (tagged ``{"aborted": True}``) in
+        proper nesting order, so :func:`check_well_formed` passes on
+        aborted runs too.  Returns the number of spans closed.
+        """
+        if not self.enabled:
+            return 0
+        stacks: Dict[tuple, List[TraceEvent]] = {}
+        for ev in self.events:
+            if ev.run != self.run:
+                continue
+            key = (ev.pid, ev.tid)
+            if ev.ph == "B":
+                stacks.setdefault(key, []).append(ev)
+            elif ev.ph == "E":
+                stack = stacks.get(key)
+                if stack:
+                    stack.pop()
+        t = self._ts(ts)
+        closed = 0
+        for (pid, tid), stack in stacks.items():
+            for b in reversed(stack):
+                self.events.append(
+                    TraceEvent("E", b.name, b.cat, max(t, b.ts), pid, tid,
+                               self.run, args={"aborted": True})
+                )
+                closed += 1
+        return closed
+
 
 def check_well_formed(
     events: List[TraceEvent], allow_unclosed: bool = False

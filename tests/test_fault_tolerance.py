@@ -1,0 +1,204 @@
+"""Transport behaviour under injected faults.
+
+The adaptive transport must *recover*: relocate sub-files off dead or
+hung targets, re-drive the affected writers, and adopt a crashed
+sub-coordinator's group.  The static transports must *fail fast with
+defined semantics*: record the failed writers, terminate within the
+policy timeouts, and raise :class:`~repro.errors.TransportError`
+carrying durable/lost byte accounting plus the partial result.
+"""
+
+import functools
+
+import pytest
+
+from repro.apps import AppKernel, Variable
+from repro.core.transports import (
+    AdaptiveTransport,
+    MpiIoTransport,
+    PosixTransport,
+    SplitFilesTransport,
+)
+from repro.errors import TransportError
+from repro.faults import FaultEvent, FaultPlan, two_ost_failure_plan
+from repro.machines import jaguar
+from repro.units import MB
+
+N_RANKS = 64
+N_OSTS = 16
+CAP = 4
+MB_PER_PROC = 16.0
+
+
+def spec():
+    return jaguar(n_osts=N_OSTS).with_overrides(max_stripe_count=CAP)
+
+
+def app():
+    return AppKernel(
+        "ft", [Variable("v", shape=(int(MB_PER_PROC * MB / 8),))]
+    )
+
+
+TOTAL_BYTES = MB_PER_PROC * MB * N_RANKS
+PER_PROC_BYTES = MB_PER_PROC * MB
+
+
+@functools.lru_cache(maxsize=None)
+def baseline_write_time(transport_name: str) -> float:
+    """Fault-free write time, used to aim faults mid-write."""
+    transport = {
+        "adaptive": AdaptiveTransport,
+        "mpiio": lambda: MpiIoTransport(build_index=False),
+        "posix": lambda: PosixTransport(build_index=False),
+        "splitfiles": lambda: SplitFilesTransport(build_index=False),
+    }[transport_name]()
+    m = spec().build(n_ranks=N_RANKS, seed=0)
+    return transport.run(m, app(), output_name="ft").write_time
+
+
+def run_adaptive(plan, seed=0):
+    m = spec().build(n_ranks=N_RANKS, seed=seed, faults=plan)
+    res = AdaptiveTransport().run(m, app(), output_name="ft")
+    return m, res
+
+
+class TestAdaptiveRecovery:
+    def test_two_ost_failstop_fully_durable(self):
+        """The ISSUE acceptance scenario: 2 of 16 targets fail-stop
+        mid-write; the run ends clean with 100% of bytes durable."""
+        at = 0.4 * baseline_write_time("adaptive")
+        plan = two_ost_failure_plan(osts=(0, 1), at=at).with_policy(
+            run_timeout=120.0
+        )
+        m, res = run_adaptive(plan)
+        assert len(res.per_writer) == N_RANKS
+        assert res.extra["sc_relocations"] >= 1
+        assert res.extra["bytes_durable"] == pytest.approx(TOTAL_BYTES)
+        assert res.extra["bytes_lost"] == pytest.approx(0.0)
+        assert res.extra["n_injected"] == 2.0
+        # Relocated groups write epoch-suffixed incarnation files.
+        assert any(".e" in path for path in res.files)
+        # Every result file really exists and flushed cleanly.
+        for path in res.files:
+            assert m.fs.lookup(path) is not None
+
+    def test_hung_ost_retries_then_completes(self):
+        """A hung target never errors — writers must time the write
+        out, back off, and eventually force a relocation."""
+        wt = baseline_write_time("adaptive")
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=0.4 * wt, kind="ost_hang", target=3),
+            )
+        ).with_policy(
+            write_timeout=max(2.0 * wt, 1e-2),
+            max_retries=2,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            run_timeout=120.0,
+        )
+        m, res = run_adaptive(plan)
+        assert len(res.per_writer) == N_RANKS
+        assert res.extra["fault_retries"] > 0
+        assert res.extra["bytes_durable"] == pytest.approx(TOTAL_BYTES)
+        assert m.env.now < 120.0  # finished, not reaped by the backstop
+
+    def test_sc_crash_adopted_rest_durable(self):
+        """Killing a sub-coordinator rank (4 = SC of group 1) loses
+        only that rank's own data: the coordinator adopts the group,
+        the surviving members re-land, and the error accounts for
+        exactly one writer's bytes."""
+        wt = baseline_write_time("adaptive")
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=0.4 * wt, kind="crash_rank", target=4),
+            )
+        ).with_policy(
+            heartbeat_interval=0.1, sc_timeout=0.5, run_timeout=120.0
+        )
+        with pytest.raises(TransportError) as excinfo:
+            run_adaptive(plan)
+        exc = excinfo.value
+        assert exc.partial is not None
+        assert exc.partial.extra["sc_adoptions"] == 1.0
+        assert exc.bytes_durable == pytest.approx(
+            TOTAL_BYTES - PER_PROC_BYTES
+        )
+        assert exc.bytes_lost == pytest.approx(PER_PROC_BYTES)
+
+    def test_same_seed_same_plan_is_deterministic(self):
+        at = 0.4 * baseline_write_time("adaptive")
+        plan = two_ost_failure_plan(osts=(0, 1), at=at).with_policy(
+            run_timeout=120.0
+        )
+        _, a = run_adaptive(plan, seed=3)
+        _, b = run_adaptive(plan, seed=3)
+        assert a.per_writer == b.per_writer
+        assert a.extra == b.extra
+        assert a.files == b.files
+        assert a.reported_time == b.reported_time
+
+
+STATIC_TRANSPORTS = {
+    "mpiio": lambda: MpiIoTransport(build_index=False),
+    "posix": lambda: PosixTransport(build_index=False),
+    "splitfiles": lambda: SplitFilesTransport(build_index=False),
+}
+
+
+class TestStaticFailFast:
+    @pytest.mark.parametrize("name", sorted(STATIC_TRANSPORTS))
+    def test_failstop_raises_with_accounting(self, name):
+        """No recovery path: a mid-write fail-stop must surface as a
+        TransportError whose durable + lost bytes cover the output."""
+        at = 0.4 * baseline_write_time(name)
+        plan = two_ost_failure_plan(osts=(0, 1), at=at).with_policy(
+            run_timeout=120.0
+        )
+        m = spec().build(n_ranks=N_RANKS, seed=0, faults=plan)
+        with pytest.raises(TransportError) as excinfo:
+            STATIC_TRANSPORTS[name]().run(m, app(), output_name="ft")
+        exc = excinfo.value
+        assert exc.bytes_durable + exc.bytes_lost == pytest.approx(
+            TOTAL_BYTES
+        )
+        assert exc.bytes_durable < TOTAL_BYTES
+        assert exc.partial is not None
+        assert exc.partial.extra["n_injected"] == 2.0
+        assert m.env.now < 120.0  # fail-fast, not backstop-reaped
+
+    def test_mpiio_hung_ost_terminates_at_write_timeout(self):
+        """A hung target must not hang the run: writers give up after
+        the per-attempt timeout and the run fails with accounting."""
+        wt = baseline_write_time("mpiio")
+        timeout = max(2.0 * wt, 1e-2)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=0.4 * wt, kind="ost_hang", target=3),
+            )
+        ).with_policy(write_timeout=timeout, run_timeout=120.0)
+        m = spec().build(n_ranks=N_RANKS, seed=0, faults=plan)
+        with pytest.raises(TransportError) as excinfo:
+            MpiIoTransport(build_index=False).run(
+                m, app(), output_name="ft"
+            )
+        exc = excinfo.value
+        assert exc.bytes_durable < TOTAL_BYTES
+        # Terminated by the per-write timeout, far before the backstop.
+        assert m.env.now < 120.0
+
+    @pytest.mark.parametrize("name", sorted(STATIC_TRANSPORTS))
+    def test_static_deterministic_under_faults(self, name):
+        at = 0.4 * baseline_write_time(name)
+        plan = two_ost_failure_plan(osts=(0, 1), at=at)
+
+        def one():
+            m = spec().build(n_ranks=N_RANKS, seed=5, faults=plan)
+            with pytest.raises(TransportError) as excinfo:
+                STATIC_TRANSPORTS[name]().run(m, app(), output_name="ft")
+            return excinfo.value
+
+        a, b = one(), one()
+        assert a.bytes_durable == b.bytes_durable
+        assert a.partial.per_writer == b.partial.per_writer

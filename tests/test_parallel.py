@@ -164,3 +164,43 @@ class TestTracerAbsorb:
         t.absorb([self._ev(0)])
         assert [e.run for e in t.events] == [0, 1]
         assert t.n_runs == 2
+
+
+class TestFaultedRunsParallel:
+    def test_faulted_sweep_cell_bit_identical_to_serial(self):
+        """Fault injection must not break the parallel contract: a
+        resilience cell (baseline run + faulted run + re-run model)
+        fans out over workers bit-identically, because each sample
+        builds its plan inside the cell from its derived seed."""
+        from repro.harness.figures.resilience import _one_cell
+
+        cell = partial(
+            _one_cell, method="adaptive", k=2,
+            n_osts=16, cap=4, n_ranks=64, mb=16.0,
+        )
+        serial = run_samples(cell, 2, base_seed=0, jobs=1)
+        parallel = run_samples(cell, 2, base_seed=0, jobs=2)
+        assert serial == parallel
+
+    def test_env_fault_plan_reaches_workers(self, tmp_path):
+        """REPRO_FAULTS (the --faults propagation channel) must be
+        honoured by worker processes: machines built in a worker pick
+        the plan up from the environment."""
+        from repro.faults import two_ost_failure_plan
+
+        path = tmp_path / "plan.json"
+        two_ost_failure_plan(osts=(0, 1), at=0.01).save_json(str(path))
+        os.environ["REPRO_FAULTS"] = str(path)
+        try:
+            out = parallel_map(_machine_has_faults, [0, 1], jobs=2)
+        finally:
+            del os.environ["REPRO_FAULTS"]
+        assert out == [True, True]
+        assert parallel_map(_machine_has_faults, [0], jobs=1) == [False]
+
+
+def _machine_has_faults(seed: int) -> bool:
+    from repro.machines import jaguar
+
+    m = jaguar(n_osts=4).build(n_ranks=4, seed=seed)
+    return m.faults is not None

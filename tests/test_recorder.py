@@ -181,3 +181,28 @@ class TestBalanceStory:
         assert (
             rec_s.straggler_window() <= rec_ns.straggler_window()
         )
+
+
+class TestAbortedRuns:
+    def test_recorder_stops_cleanly_when_transport_raises(self):
+        """A faulted run that aborts mid-write must leave the recorder
+        in a consistent, stoppable state: samples up to the abort are
+        kept, stop() cancels the pending wakeup, and the matrices
+        stay rectangular."""
+        from repro.errors import TransportError
+        from repro.faults import two_ost_failure_plan
+
+        plan = two_ost_failure_plan(osts=(0, 1), at=0.05)
+        m = jaguar(n_osts=8).build(n_ranks=32, seed=0, faults=plan)
+        m.fs.max_stripe_count = 2
+        rec = LoadRecorder(m, interval=0.01)
+        rec.start()
+        with pytest.raises(TransportError):
+            MpiIoTransport(build_index=False).run(m, app(), "out")
+        rec.stop()
+        assert rec.n_samples >= 1
+        assert rec.inflow_matrix().shape == (rec.n_samples, 8)
+        rec.utilization_summary()  # must not raise on a partial run
+        # restartable after an abort, like any windowed recording
+        rec.start()
+        rec.stop()

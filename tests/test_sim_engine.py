@@ -200,3 +200,61 @@ class TestSchedulerDeterminism:
         env.schedule_callback(4.0, lambda: hits.append(env.now))
         env.run()
         assert hits == [4.0]
+
+
+class TestDeadlockDetection:
+    def test_run_until_event_that_never_fires_raises(self, env):
+        never = env.event()
+
+        def waiter(env):
+            yield never
+
+        env.process(waiter(env))
+        from repro.sim import Deadlock
+
+        with pytest.raises(Deadlock) as excinfo:
+            env.run(until=never)
+        assert excinfo.value.processes
+        assert "calendar drained" in str(excinfo.value)
+
+    def test_unfinished_processes_lists_parked_waiters(self, env):
+        gate = env.event()
+
+        def waiter(env):
+            yield gate
+
+        def finisher(env):
+            yield env.timeout(1)
+
+        w = env.process(waiter(env), name="parked")
+        env.process(finisher(env), name="done")
+        env.run()
+        alive = env.unfinished_processes()
+        assert alive == [w]
+
+    def test_check_deadlock_raises_only_when_calendar_empty(self, env):
+        gate = env.event()
+
+        def waiter(env):
+            yield gate
+
+        env.process(waiter(env))
+        env.process(_ticker_once(env))
+        from repro.sim import Deadlock
+
+        env.check_deadlock()  # ticker still scheduled: no deadlock yet
+        env.run()
+        with pytest.raises(Deadlock):
+            env.check_deadlock()
+
+    def test_check_deadlock_quiet_when_all_finished(self, env):
+        def body(env):
+            yield env.timeout(1)
+
+        env.process(body(env))
+        env.run()
+        env.check_deadlock()  # must not raise
+
+
+def _ticker_once(env):
+    yield env.timeout(2)

@@ -221,3 +221,56 @@ class TestConditions:
         env.process(proc(env))
         env.run()
         assert done and "pre" in done[0][1] or "pre" in done[0]
+
+
+class TestAllSettled:
+    def test_collects_failures_as_values(self):
+        from repro.sim import AllSettled
+
+        env = Environment(strict=False)
+
+        def ok(env):
+            yield env.timeout(1)
+            return "fine"
+
+        def bad(env):
+            yield env.timeout(2)
+            raise ValueError("kaput")
+
+        p_ok = env.process(ok(env))
+        p_bad = env.process(bad(env))
+        got = []
+
+        def joiner(env):
+            res = yield AllSettled(env, [p_ok, p_bad])
+            got.append(res)
+
+        env.process(joiner(env))
+        env.run()
+        assert got, "AllSettled never fired"
+        values = got[0]
+        assert values[p_ok] == "fine"
+        assert isinstance(values[p_bad], ValueError)
+
+    def test_waits_for_the_slowest(self):
+        from repro.sim import AllSettled
+
+        env = Environment(strict=False)
+
+        def fail_fast(env):
+            yield env.timeout(1)
+            raise ValueError("early")
+
+        def slow(env):
+            yield env.timeout(10)
+
+        procs = [env.process(fail_fast(env)), env.process(slow(env))]
+        fired_at = []
+
+        def joiner(env):
+            yield AllSettled(env, procs)
+            fired_at.append(env.now)
+
+        env.process(joiner(env))
+        env.run()
+        assert fired_at == [10.0]

@@ -9,7 +9,8 @@ from repro.tools.experiment import ARTIFACTS, main as experiment_main
 class TestExperimentCli:
     def test_artifact_registry_covers_paper(self):
         assert set(ARTIFACTS) == {
-            "fig1", "table1", "fig2", "fig3", "fig5", "fig6", "fig7"
+            "fig1", "table1", "fig2", "fig3", "fig5", "fig6", "fig7",
+            "resilience",
         }
 
     def test_runs_one_artifact(self, capsys):

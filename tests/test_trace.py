@@ -266,3 +266,69 @@ class TestCli:
         assert main([str(path), "--check"]) == 0
         out = capsys.readouterr().out
         assert "span nesting: OK" in out
+
+
+class TestAbortedRunTraces:
+    def test_close_open_spans_closes_in_nesting_order(self):
+        tr = Tracer()
+        tr.begin("outer", cat="t", pid="p", tid="t1", ts=0.0)
+        tr.begin("inner", cat="t", pid="p", tid="t1", ts=1.0)
+        tr.begin("other", cat="t", pid="q", tid="t2", ts=0.5)
+        closed = tr.close_open_spans(ts=2.0)
+        assert closed == 3
+        assert check_well_formed(tr.events) == []
+        ends = [e for e in tr.events if e.ph == "E"]
+        assert all(e.args == {"aborted": True} for e in ends)
+        # inner must close before outer on the shared track
+        t1_ends = [e.name for e in ends if e.tid == "t1"]
+        assert t1_ends == ["inner", "outer"]
+
+    def test_close_open_spans_noop_when_balanced(self):
+        tr = Tracer()
+        with tr.span("a", cat="t", pid="p", tid="t"):
+            pass
+        assert tr.close_open_spans() == 0
+
+    def test_aborted_faulted_run_trace_is_well_formed(self):
+        """A transport killed mid-write by a fault plan must leave a
+        well-formed trace: the failure path closes dangling spans."""
+        from repro.errors import TransportError
+        from repro.faults import two_ost_failure_plan
+
+        tr = Tracer()
+        plan = two_ost_failure_plan(osts=(0, 1), at=0.01)
+        m = jaguar(n_osts=N_OSTS).build(
+            n_ranks=N_RANKS, seed=0, faults=plan
+        )
+        m.attach_tracer(tr)
+        with pytest.raises(TransportError):
+            MpiIoTransport(build_index=False).run(m, app(), "out")
+        assert check_well_formed(tr.events) == []
+        names = {e.name for e in tr.events if e.cat == "fault"}
+        assert "ost.failstop" in names
+
+    def test_retry_and_abort_instants_counted_per_writer(self):
+        """Fault instants on writer tracks land in the per-writer
+        counters and surface in the report; fault-free reports carry
+        no retry/abort columns."""
+        from repro.errors import TransportError
+        from repro.faults import two_ost_failure_plan
+
+        tr = Tracer()
+        plan = two_ost_failure_plan(osts=(0, 1), at=0.01)
+        m = jaguar(n_osts=N_OSTS).build(
+            n_ranks=N_RANKS, seed=0, faults=plan
+        )
+        m.attach_tracer(tr)
+        with pytest.raises(TransportError):
+            MpiIoTransport(build_index=False).run(m, app(), "out")
+        counters = per_writer_counters(tr.events)
+        assert sum(c.aborts for c in counters) > 0
+        report = render_report(counters)
+        assert "abort" in report
+
+        tr2 = Tracer()
+        traced_run(transport=MpiIoTransport(), tracer=tr2)
+        clean = per_writer_counters(tr2.events)
+        assert all(c.retries == 0 and c.aborts == 0 for c in clean)
+        assert "abort" not in render_report(clean)
