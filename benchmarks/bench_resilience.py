@@ -34,3 +34,13 @@ def test_resilience(benchmark, scale, save_result):
                 f"adaptive goodput must dominate {method} "
                 f"at {k} failed OSTs"
             )
+    for method, cell in result.integrity.items():
+        assert cell["detected"] > 0, (
+            f"{method}: the corruption plan must actually corrupt blocks"
+        )
+        assert cell["undetected"] == 0, (
+            f"{method}: checksummed scrub missed injected corruption"
+        )
+        assert cell["false_positives"] == 0 and cell["fp_clean"] == 0, (
+            f"{method}: scrub flagged undamaged blocks"
+        )

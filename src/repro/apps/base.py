@@ -7,7 +7,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.index import Characteristics, IndexEntry
+from repro.core.index import Characteristics, IndexEntry, block_checksum
 
 __all__ = ["Variable", "AppKernel"]
 
@@ -67,9 +67,16 @@ class AppKernel:
     Every process emits the same variable set (weak scaling), so the
     kernel is shared across ranks; per-rank synthetic characteristics
     are derived deterministically from (app, rank, var).
+
+    ``checksums`` (default on) makes every index entry carry a
+    per-block content checksum and every write register its blocks
+    with the storage layer, enabling read-back verification and
+    scrubbing.  Turn it off to model checksum-free output (blocks
+    classify as unverified, silent corruption goes undetected).
     """
 
-    def __init__(self, name: str, variables: List[Variable]):
+    def __init__(self, name: str, variables: List[Variable],
+                 checksums: bool = True):
         if not variables:
             raise ValueError("an app kernel needs at least one variable")
         names = [v.name for v in variables]
@@ -77,6 +84,7 @@ class AppKernel:
             raise ValueError("duplicate variable names")
         self.name = name
         self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.checksums = bool(checksums)
 
     @property
     def per_process_bytes(self) -> float:
@@ -126,10 +134,38 @@ class AppKernel:
                     offset=offset,
                     nbytes=var.nbytes,
                     characteristics=chars,
+                    checksum=(
+                        block_checksum(var.name, rank, var.nbytes)
+                        if self.checksums
+                        else None
+                    ),
                 )
             )
             offset += var.nbytes
         return entries
+
+    def data_blocks(
+        self, rank: int, base_offset: float
+    ) -> List[Tuple[float, float, Optional[int]]]:
+        """``(offset, nbytes, checksum)`` per variable block of one rank.
+
+        What a writer hands to :meth:`FileSystem.write` so the storage
+        layer records the blocks it absorbed; matches
+        :meth:`index_entries` block for block (same layout, same
+        checksums) without paying for characteristics.
+        """
+        blocks: List[Tuple[float, float, Optional[int]]] = []
+        offset = base_offset
+        for var in self.variables:
+            blocks.append((
+                offset,
+                var.nbytes,
+                block_checksum(var.name, rank, var.nbytes)
+                if self.checksums
+                else None,
+            ))
+            offset += var.nbytes
+        return blocks
 
     def sample_block(self, rank: int, var_name: str, n: int = 64) -> np.ndarray:
         """A small representative data block (tests / examples only)."""

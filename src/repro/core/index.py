@@ -10,15 +10,41 @@ as the logical location of the data of interest").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Characteristics", "IndexEntry", "LocalIndex", "GlobalIndex"]
+__all__ = [
+    "Characteristics",
+    "IndexEntry",
+    "LocalIndex",
+    "GlobalIndex",
+    "block_checksum",
+]
 
 _ENTRY_HEADER_BYTES = 64.0  # serialized per-entry overhead
 _CHAR_BYTES = 24.0  # serialized characteristics block
+_CKSUM_BYTES = 8.0  # serialized per-block checksum
+
+
+def block_checksum(var: str, writer: int, nbytes: float) -> int:
+    """Deterministic 64-bit content checksum of one variable block.
+
+    The simulator stores no payload bytes, so a block's *content* is
+    fully determined by what produced it: (variable, writer, size).
+    Hashing that triple stands in for checksumming the real bytes —
+    the writer computes it at write time, the index carries it, and
+    any in-place mutation of the stored copy (bit flip, tear) breaks
+    the equality exactly as a real CRC would.  Rewrites of the same
+    block (retries, relocated incarnations) reproduce the same value,
+    because the content is the same.
+    """
+    digest = hashlib.blake2b(
+        f"{var}|{int(writer)}|{float(nbytes)!r}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
 
 
 @dataclass(frozen=True)
@@ -63,13 +89,20 @@ class Characteristics:
 
 @dataclass(frozen=True)
 class IndexEntry:
-    """One variable block: who wrote which variable where."""
+    """One variable block: who wrote which variable where.
+
+    ``checksum`` is the per-block content checksum
+    (:func:`block_checksum`) when the writing application computed
+    one; ``None`` for checksum-free output sets, whose blocks a scrub
+    can only classify as unverified.
+    """
 
     var: str
     writer: int
     offset: float
     nbytes: float
     characteristics: Optional[Characteristics] = None
+    checksum: Optional[int] = None
 
     def __post_init__(self):
         if self.offset < 0 or self.nbytes < 0:
@@ -78,6 +111,8 @@ class IndexEntry:
     @property
     def serialized_bytes(self) -> float:
         extra = _CHAR_BYTES if self.characteristics is not None else 0.0
+        if self.checksum is not None:
+            extra += _CKSUM_BYTES
         return _ENTRY_HEADER_BYTES + len(self.var) + extra
 
 
@@ -158,6 +193,20 @@ class GlobalIndex:
     @property
     def n_blocks(self) -> int:
         return sum(len(v) for v in self._by_var.values())
+
+    def entries_by_file(self) -> Dict[str, List[IndexEntry]]:
+        """``file -> [entries]``, each file's list in (offset, var) order.
+
+        The scrub/fsck walk order: deterministic regardless of the
+        message interleaving that built the index.
+        """
+        out: Dict[str, List[IndexEntry]] = {p: [] for p in self._files}
+        for hits in self._by_var.values():
+            for path, e in hits:
+                out[path].append(e)
+        for entries in out.values():
+            entries.sort(key=lambda e: (e.offset, e.var, e.writer))
+        return out
 
     def lookup(
         self, var: str, writer: Optional[int] = None

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.groups import GroupMap
 from repro.core.index import GlobalIndex, LocalIndex
+from repro.core.integrity import verify_stored
 from repro.core.messages import (
     TAG_ADOPTED_BASE,
     TAG_COORD,
@@ -197,6 +198,7 @@ class AdaptiveTransport(Transport):
                 offset=ws.offset,
                 nbytes=nbytes,
                 writer=rank,
+                blocks=app.data_blocks(rank, ws.offset),
             )
             end = env.now
             if traced:
@@ -624,6 +626,7 @@ class AdaptiveTransport(Transport):
             "aborts": 0,
             "relocations": 0,
             "adoptions": 0,
+            "verify_failures": 0,
         }
         phase: Dict[str, float] = {}
         global_index = GlobalIndex()
@@ -676,6 +679,8 @@ class AdaptiveTransport(Transport):
                 start = env.now
                 attempt = 0
                 failure = None
+                data_blocks = app.data_blocks(rank, ws.offset)
+                verify_failed_once = False
                 while True:
                     f = files_at[(ws.target_group, ws.epoch)]
                     if traced:
@@ -696,6 +701,7 @@ class AdaptiveTransport(Transport):
                             nbytes=nbytes,
                             writer=rank,
                             timeout=policy.write_timeout,
+                            blocks=data_blocks,
                         )
                     except OstFailedError as exc:
                         if traced:
@@ -730,9 +736,52 @@ class AdaptiveTransport(Transport):
                             )
                         yield env.timeout(backoff)
                     else:
+                        # Write–verify–rewrite: read the blocks back
+                        # against our own checksums before declaring
+                        # victory.  A mismatch burns a retry from the
+                        # same budget — persistent corruption on one
+                        # target must eventually poison it (the
+                        # WriteFailed path below), not spin forever.
+                        if policy.read_back_verify and not verify_stored(
+                            f, data_blocks
+                        ):
+                            if traced:
+                                tracer.end("write", cat="writer", pid=wpid,
+                                           tid=wtid,
+                                           args={"failed": "verify"})
+                            attempt += 1
+                            if attempt > policy.max_retries:
+                                failure = (
+                                    f"read-back verify failed {attempt}x "
+                                    f"(budget {policy.max_retries} retries)"
+                                )
+                                break
+                            stats["verify_failures"] += 1
+                            verify_failed_once = True
+                            backoff = policy.backoff(attempt)
+                            if traced:
+                                tracer.instant(
+                                    "write.verify_fail", cat="integrity",
+                                    pid=wpid, tid=wtid,
+                                    args={"target_group": ws.target_group,
+                                          "epoch": ws.epoch,
+                                          "offset": float(ws.offset),
+                                          "attempt": attempt,
+                                          "backoff": backoff},
+                                )
+                            yield env.timeout(backoff)
+                            continue
                         if traced:
                             tracer.end("write", cat="writer", pid=wpid,
                                        tid=wtid)
+                            if verify_failed_once:
+                                tracer.instant(
+                                    "block.repair", cat="integrity",
+                                    pid=wpid, tid=wtid,
+                                    args={"target_group": ws.target_group,
+                                          "epoch": ws.epoch,
+                                          "offset": float(ws.offset)},
+                                )
                         break
                 if failure is None:
                     timings[rank] = WriterTiming(
@@ -1388,6 +1437,18 @@ class AdaptiveTransport(Transport):
         flush_start = phase.get("flush_start", write_end)
         flush_end = phase.get("flush_end", flush_start)
         close_end = phase.get("close_end", flush_end)
+        # Corruption surviving in the *current* incarnations, after all
+        # verify-rewrites.  Informational for adaptive (`ok` is about
+        # durability; detection is the scrub's job), load-bearing for
+        # the statics' error accounting.
+        bytes_corrupt = 0.0
+        for g in range(n_groups):
+            f = files_at.get((g, epoch_of[g]))
+            if f is None:
+                continue
+            for blk in f.stored_blocks():
+                if blk.corrupt or blk.torn:
+                    bytes_corrupt += blk.nbytes
         fault_extra = {
             "n_groups": float(n_groups),
             "busy_bounces": float(stats["busy_bounces"]),
@@ -1395,8 +1456,10 @@ class AdaptiveTransport(Transport):
             "fault_aborts": float(stats["aborts"]),
             "sc_relocations": float(stats["relocations"]),
             "sc_adoptions": float(stats["adoptions"]),
+            "verify_failures": float(stats["verify_failures"]),
             "bytes_durable": bytes_durable,
             "bytes_lost": bytes_lost,
+            "bytes_corrupt": bytes_corrupt,
         }
         fault_extra.update(faults.summary())
         result = OutputResult(
@@ -1449,4 +1512,5 @@ class AdaptiveTransport(Transport):
             bytes_durable=bytes_durable,
             bytes_lost=bytes_lost,
             partial=result,
+            bytes_corrupt=bytes_corrupt,
         )

@@ -19,7 +19,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.index import GlobalIndex
-from repro.errors import OstFailedError, TransportError, WriteTimeout
+from repro.errors import (
+    FileNotFoundInNamespace,
+    OstFailedError,
+    TransportError,
+    WriteTimeout,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
@@ -165,18 +170,20 @@ class StaticFaultHarness:
             self.faults.register(rank, proc)
 
     def guarded_write(self, fs, f, *, node, offset, nbytes, writer,
-                      pid: str, tid: str):
+                      pid: str, tid: str, blocks=None):
         """Generator: one write attempt; returns True iff it landed.
 
         Failures (target fail-stopped, or hung past the policy
         timeout) are recorded and traced, never raised — the caller's
-        process must survive so the join accounts for it.
+        process must survive so the join accounts for it.  ``blocks``
+        (``(offset, nbytes, checksum)`` triples) registers the write's
+        variable blocks with the storage layer for later scrubbing.
         """
         env = self.machine.env
         try:
             yield from fs.write(
                 f, node=node, offset=offset, nbytes=nbytes, writer=writer,
-                timeout=self.write_timeout,
+                timeout=self.write_timeout, blocks=blocks,
             )
         except (OstFailedError, WriteTimeout) as exc:
             self.write_failures.append((writer, str(exc)))
@@ -221,15 +228,36 @@ class StaticFaultHarness:
         except (OstFailedError, WriteTimeout) as exc:
             self.flush_failures.append(str(exc))
 
+    def bytes_corrupt(self, result: OutputResult) -> float:
+        """Bytes of the output's stored blocks now corrupt or torn.
+
+        The static methods have no verify/rewrite loop, so whatever
+        the fault plan rotted stays rotten — it lands in the error
+        accounting instead.
+        """
+        fs = self.machine.fs
+        total = 0.0
+        for path in result.files:
+            try:
+                f = fs.lookup(path)
+            except FileNotFoundInNamespace:
+                continue
+            for blk in f.stored_blocks():
+                if blk.corrupt or blk.torn:
+                    total += blk.nbytes
+        return total
+
     def finalize(self, transport: "Transport",
                  result: OutputResult) -> OutputResult:
         """Clean run → validated result; unclean → TransportError."""
         n_ranks = self.machine.n_ranks
+        corrupt = self.bytes_corrupt(result) if self.active else 0.0
         clean = (
             not self.timed_out
             and not self.write_failures
             and not self.flush_failures
             and len(result.per_writer) == n_ranks
+            and corrupt == 0.0
         )
         if self.active:
             # A write acknowledged into a target's cache is only as
@@ -244,6 +272,7 @@ class StaticFaultHarness:
             bytes_lost = result.total_bytes - bytes_durable
             result.extra["bytes_durable"] = bytes_durable
             result.extra["bytes_lost"] = bytes_lost
+            result.extra["bytes_corrupt"] = corrupt
             result.extra.update(self.faults.summary())
         if clean:
             return transport._finish(self.machine, result)
@@ -266,12 +295,15 @@ class StaticFaultHarness:
         missing = n_ranks - len(result.per_writer)
         if missing > 0:
             reasons.append(f"{missing} writer(s) did not complete")
+        if corrupt > 0.0:
+            reasons.append(f"{corrupt:.0f} B of stored output corrupt/torn")
         raise TransportError(
             f"{result.transport} output did not complete cleanly: "
             + "; ".join(reasons),
             bytes_durable=result.extra.get("bytes_durable", 0.0),
             bytes_lost=result.extra.get("bytes_lost", result.total_bytes),
             partial=result,
+            bytes_corrupt=corrupt,
         )
 
 

@@ -118,6 +118,7 @@ class MpiIoTransport(Transport):
                 writer=rank,
                 pid=wpid,
                 tid=wtid,
+                blocks=app.data_blocks(rank, rank * chunk),
             )
             if traced:
                 tr.end("write", cat="writer", pid=wpid, tid=wtid,
@@ -169,6 +170,7 @@ class MpiIoTransport(Transport):
                     continue  # the rank's chunk never landed
                 entries.extend(app.index_entries(rank, rank * chunk))
             index.add_file(path, entries)
+            f.attach_local_index(entries)
 
         result = OutputResult(
             transport=self.name,

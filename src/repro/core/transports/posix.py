@@ -113,6 +113,7 @@ class PosixTransport(Transport):
                 writer=rank,
                 pid=f"node/{node}",
                 tid=f"rank {rank}",
+                blocks=app.data_blocks(rank, 0.0),
             )
             if traced:
                 tr.end("write", cat="writer", pid=f"node/{node}",
@@ -164,10 +165,10 @@ class PosixTransport(Transport):
             for rank in range(n_ranks):
                 if harness.active and timings[rank] is None:
                     continue  # the rank's data never landed
-                index.add_file(
-                    f"/{output_name}/rank{rank:06d}.dat",
-                    app.index_entries(rank, 0.0),
-                )
+                entries = app.index_entries(rank, 0.0)
+                index.add_file(f"/{output_name}/rank{rank:06d}.dat", entries)
+                if rank in fobjs:
+                    fobjs[rank].attach_local_index(entries)
 
         open_end = phase.get("open_end", phase["write_end"])
         result = OutputResult(

@@ -97,6 +97,7 @@ class SplitFilesTransport(Transport):
                 writer=rank,
                 pid=f"node/{node}",
                 tid=f"rank {rank}",
+                blocks=app.data_blocks(rank, slot * chunk),
             )
             if traced:
                 tr.end("write", cat="writer", pid=f"node/{node}",
@@ -155,6 +156,7 @@ class SplitFilesTransport(Transport):
                         continue  # the rank's chunk never landed
                     entries.extend(app.index_entries(rank, slot * chunk))
                 index.add_file(paths[g], entries)
+                files[g].attach_local_index(entries)
 
         result = OutputResult(
             transport=self.name,

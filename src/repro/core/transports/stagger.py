@@ -114,6 +114,7 @@ class StaggerTransport(Transport):
                     offset=offset,
                     nbytes=nbytes,
                     writer=rank,
+                    blocks=app.data_blocks(rank, offset),
                 )
                 if traced:
                     tr.end("write", cat="writer", pid=f"node/{node}",
@@ -165,6 +166,7 @@ class StaggerTransport(Transport):
                     entries.extend(app.index_entries(rank, offset))
                     offset += nbytes
                 index.add_file(f"/{output_name}.bp.dir/{g:04d}.bp", entries)
+                files[g].attach_local_index(entries)
 
         result = OutputResult(
             transport=self.name,

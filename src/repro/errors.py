@@ -12,6 +12,7 @@ __all__ = [
     "StripeLimitExceeded",
     "OstFailedError",
     "WriteTimeout",
+    "IntegrityError",
     "ProtocolError",
     "TransportError",
 ]
@@ -72,6 +73,20 @@ class WriteTimeout(FileSystemError):
         self.undelivered = undelivered
 
 
+class IntegrityError(FileSystemError):
+    """A read-back found data that does not match its index checksum.
+
+    Raised by the verifying read mode of
+    :class:`~repro.core.bp.BpReader` when a block's stored state is
+    torn, missing, or fails its per-block checksum.  ``status`` carries
+    the scrub classification (``corrupt``/``torn``/``missing``).
+    """
+
+    def __init__(self, message: str, status: str = "corrupt"):
+        super().__init__(message)
+        self.status = status
+
+
 class FaultPlanError(ConfigurationError):
     """A fault plan is malformed or references unknown targets."""
 
@@ -85,9 +100,12 @@ class TransportError(ReproError):
 
     Fault-aware transports attach a partial-output accounting: how many
     bytes made it durably to live storage (``bytes_durable``), how many
-    are known lost (``bytes_lost``), and — when the run got far enough
-    to assemble one — the partial :class:`OutputResult` (``partial``,
-    unvalidated: its invariants may legitimately not hold).
+    are known lost (``bytes_lost``), how many landed but no longer
+    match what the writer produced (``bytes_corrupt`` — torn or
+    silently corrupted blocks the static methods cannot repair), and —
+    when the run got far enough to assemble one — the partial
+    :class:`OutputResult` (``partial``, unvalidated: its invariants may
+    legitimately not hold).
     """
 
     def __init__(
@@ -96,8 +114,10 @@ class TransportError(ReproError):
         bytes_durable: float = 0.0,
         bytes_lost: float = 0.0,
         partial: object = None,
+        bytes_corrupt: float = 0.0,
     ):
         super().__init__(message)
         self.bytes_durable = float(bytes_durable)
         self.bytes_lost = float(bytes_lost)
+        self.bytes_corrupt = float(bytes_corrupt)
         self.partial = partial

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    CORRUPTION_KINDS,
     FAULT_KINDS,
     FaultEvent,
     FaultPlan,
@@ -32,6 +33,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",

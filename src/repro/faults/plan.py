@@ -19,6 +19,7 @@ from repro.errors import FaultPlanError
 
 __all__ = [
     "FAULT_KINDS",
+    "CORRUPTION_KINDS",
     "FaultEvent",
     "RetryPolicy",
     "FaultPlan",
@@ -34,9 +35,21 @@ FAULT_KINDS = (
     "crash_rank",  # target = rank: kill its processes (writer or SC)
     "msg_loss",  # factor = drop probability for control messages
     "msg_delay",  # factor = extra latency (seconds) per message
+    "block_bitflip",  # target = OST index, factor = blocks to rot
+    "torn_write",  # target = OST index, factor = fraction of tail lost
+    "stale_index",  # target = OST index, factor = blocks to orphan
 )
 
 _OST_KINDS = ("ost_fail", "ost_hang", "ost_brownout", "ost_recover")
+
+#: Silent-corruption kinds: they mutate stored blocks in place (no
+#: state-machine transition, nothing reverts).  ``block_bitflip`` rots
+#: the stored copy of recent blocks so their read-back checksum no
+#: longer matches the index; ``torn_write`` truncates a block to a
+#: prefix; ``stale_index`` drops a stored block while its index entry
+#: survives (the index points at data that never made it).
+CORRUPTION_KINDS = ("block_bitflip", "torn_write", "stale_index")
+_CORRUPTION_KINDS = CORRUPTION_KINDS
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,20 @@ class FaultEvent:
             )
         if self.kind == "msg_delay" and self.factor < 0:
             raise FaultPlanError("msg_delay extra latency must be >= 0")
+        if self.kind in _CORRUPTION_KINDS and self.duration is not None:
+            raise FaultPlanError(
+                f"{self.kind} takes no duration: corruption does not revert"
+            )
+        if self.kind in ("block_bitflip", "stale_index") and self.factor < 1:
+            raise FaultPlanError(
+                f"{self.kind} factor is a block count, must be >= 1, got "
+                f"{self.factor}"
+            )
+        if self.kind == "torn_write" and not 0.0 < self.factor <= 1.0:
+            raise FaultPlanError(
+                f"torn_write factor is the fraction of the block's tail "
+                f"lost, must be in (0, 1], got {self.factor}"
+            )
 
 
 @dataclass(frozen=True)
@@ -90,6 +117,13 @@ class RetryPolicy:
     detection at the coordinator; ``run_timeout`` is the whole-output
     backstop after which survivors are reaped and the run accounted;
     ``flush_timeout`` bounds the durability wait per file.
+
+    ``read_back_verify`` arms the adaptive transport's
+    write–verify–rewrite loop: after each write the writer checks the
+    stored blocks against its own checksums and treats a mismatch like
+    a failed attempt (same retry/backoff budget, same poisoning and
+    relocation once the budget is exhausted).  Off by default so
+    checksum-free runs reproduce the PR 3 fault behaviour exactly.
     """
 
     write_timeout: float = 15.0
@@ -100,6 +134,7 @@ class RetryPolicy:
     sc_timeout: float = 20.0
     run_timeout: float = 900.0
     flush_timeout: float = 300.0
+    read_back_verify: bool = False
 
     def __post_init__(self):
         if self.write_timeout <= 0:
@@ -133,6 +168,12 @@ class FaultPlan:
     ``mttr`` (optional) schedules an exponential-mean recovery after
     each stochastic fault.  Draws come from the run's ``"faults"``
     RNG stream at :meth:`materialize` time — deterministic per seed.
+
+    ``silent_error_rate`` is the per-block probability that a freshly
+    written block silently rots in place (undetectable at write time;
+    seeded from the ``"faults.corrupt"`` stream).  It models media bit
+    rot / firmware bugs underneath *every* write, independent of the
+    declarative timeline.
     """
 
     events: Tuple[FaultEvent, ...] = ()
@@ -141,12 +182,18 @@ class FaultPlan:
     mttr: Optional[float] = None
     stochastic_kind: str = "ost_fail"
     max_stochastic: int = 0
+    silent_error_rate: float = 0.0
 
     def __post_init__(self):
         if self.mtbf is not None and self.mtbf <= 0:
             raise FaultPlanError("mtbf must be positive")
         if self.mttr is not None and self.mttr <= 0:
             raise FaultPlanError("mttr must be positive")
+        if not 0.0 <= self.silent_error_rate < 1.0:
+            raise FaultPlanError(
+                f"silent_error_rate must be in [0, 1), got "
+                f"{self.silent_error_rate}"
+            )
         if self.stochastic_kind not in _OST_KINDS[:3]:
             raise FaultPlanError(
                 f"stochastic_kind must be an injectable OST fault, got "
@@ -172,6 +219,7 @@ class FaultPlan:
             "mttr": self.mttr,
             "stochastic_kind": self.stochastic_kind,
             "max_stochastic": self.max_stochastic,
+            "silent_error_rate": self.silent_error_rate,
         }
 
     @staticmethod
@@ -180,24 +228,41 @@ class FaultPlan:
             raise FaultPlanError(f"fault plan must be an object, got {d!r}")
         unknown = set(d) - {
             "events", "policy", "mtbf", "mttr", "stochastic_kind",
-            "max_stochastic",
+            "max_stochastic", "silent_error_rate",
         }
         if unknown:
             raise FaultPlanError(f"unknown fault-plan keys {sorted(unknown)}")
+        events = []
+        for i, e in enumerate(d.get("events", ())):
+            if not isinstance(e, dict):
+                raise FaultPlanError(
+                    f"events[{i}] must be an object, got {e!r}"
+                )
+            kind = e.get("kind")
+            if kind not in FAULT_KINDS:
+                raise FaultPlanError(
+                    f"events[{i}]: unknown fault kind {kind!r}; expected "
+                    f"one of {FAULT_KINDS}"
+                )
+            bad_keys = set(e) - {"time", "kind", "target", "factor",
+                                 "duration"}
+            if bad_keys:
+                raise FaultPlanError(
+                    f"events[{i}] ({kind}): unknown keys {sorted(bad_keys)}"
+                )
+            events.append(FaultEvent(**e))
         try:
-            events = tuple(
-                FaultEvent(**e) for e in d.get("events", ())
-            )
             policy = RetryPolicy(**d.get("policy", {}))
         except TypeError as exc:
             raise FaultPlanError(str(exc)) from None
         return FaultPlan(
-            events=events,
+            events=tuple(events),
             policy=policy,
             mtbf=d.get("mtbf"),
             mttr=d.get("mttr"),
             stochastic_kind=d.get("stochastic_kind", "ost_fail"),
             max_stochastic=d.get("max_stochastic", 0),
+            silent_error_rate=d.get("silent_error_rate", 0.0),
         )
 
     @staticmethod
@@ -229,6 +294,14 @@ class FaultPlan:
         """
         timeline = list(self.events)
         for e in timeline:
+            if (
+                e.kind in _CORRUPTION_KINDS
+                and not 0 <= e.target < n_osts
+            ):
+                raise FaultPlanError(
+                    f"{e.kind} target {e.target} out of range for "
+                    f"{n_osts} OSTs"
+                )
             if e.kind in _OST_KINDS and not 0 <= e.target < n_osts:
                 raise FaultPlanError(
                     f"{e.kind} target {e.target} out of range for "

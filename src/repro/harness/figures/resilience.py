@@ -160,6 +160,105 @@ def _one_cell(seed: int, method: str, k: int, n_osts: int, cap: int,
     }
 
 
+def _integrity_cell(seed: int, method: str, n_osts: int, cap: int,
+                    n_ranks: int, mb: float) -> Dict[str, float]:
+    """One integrity sample: detection rates + checksum overhead.
+
+    Three runs per sample: a checksummed fault-free run (scrubbed for
+    false positives, and timing the scrub), a checksum-free fault-free
+    run (the overhead baseline), and a checksummed run under a
+    corruption plan (bitflips, a torn write, a stale index) whose
+    scrub must detect every injected defect.
+    """
+    from repro.apps import AppKernel, Variable
+    from repro.core.bp import BpReader
+    from repro.core.integrity import detection_stats
+    from repro.core.transports import (
+        AdaptiveTransport,
+        MpiIoTransport,
+        SplitFilesTransport,
+    )
+    from repro.errors import TransportError
+    from repro.faults import FaultEvent, FaultPlan, with_faults
+    from repro.interference import install_production_noise
+    from repro.machines import jaguar
+    from repro.units import MB
+
+    def transport():
+        # Unlike the goodput cells these need the global index built,
+        # so the scrub has entries to verify against.
+        if method == "mpiio":
+            return MpiIoTransport()
+        if method == "splitfiles":
+            return SplitFilesTransport()
+        return AdaptiveTransport()
+
+    def app(checksums: bool):
+        return AppKernel(
+            "resil", [Variable("v", shape=(int(mb * MB / 8),))],
+            checksums=checksums,
+        )
+
+    spec = jaguar(n_osts=n_osts).with_overrides(max_stripe_count=cap)
+
+    # Checksummed fault-free run: overhead numerator + clean scrub.
+    m0 = spec.build(n_ranks=n_ranks, seed=seed)
+    install_production_noise(m0, live=True)
+    base = transport().run(m0, app(True), output_name="resil")
+    reader0 = BpReader(m0.fs, index=base.index, files=base.files)
+    clean = detection_stats(reader0.scrub(), m0.fs, base.index)
+
+    # Checksum-free fault-free run: the overhead denominator.
+    m1 = spec.build(n_ranks=n_ranks, seed=seed)
+    install_production_noise(m1, live=True)
+    plain = transport().run(m1, app(False), output_name="resil")
+    overhead_pct = (
+        100.0 * (base.reported_time - plain.reported_time)
+        / plain.reported_time
+    )
+
+    # Corruption run.  Adaptive serializes writers so blocks exist
+    # mid-phase; the statics register blocks only at write completion,
+    # so their corruption lands just after the write phase.
+    if method == "adaptive":
+        at = max(0.5 * base.write_time, 1e-3)
+    else:
+        at = (base.open_time + base.write_time
+              + max(0.25 * base.flush_time, 1e-3))
+    # Low-numbered targets so even the stripe-capped shared file
+    # (which touches only ``cap`` targets) is hit by all three kinds.
+    plan = FaultPlan(
+        events=(
+            FaultEvent(time=at, kind="block_bitflip", target=0, factor=2),
+            FaultEvent(time=at, kind="torn_write", target=1, factor=0.5),
+            FaultEvent(time=at, kind="stale_index", target=2, factor=1),
+        ),
+    ).with_policy(run_timeout=max(120.0, 50.0 * base.reported_time))
+    with with_faults(plan):
+        m2 = spec.build(n_ranks=n_ranks, seed=seed)
+        install_production_noise(m2, live=True)
+        try:
+            res = transport().run(m2, app(True), output_name="resil")
+        except TransportError as exc:
+            # The statics flag corrupt bytes at finalize; the partial
+            # result still carries the index and file list to scrub.
+            res = exc.partial
+    reader = BpReader(m2.fs, index=res.index, files=res.files)
+    proc = m2.env.process(reader.scrub_sim(0), name="resil.scrub")
+    m2.env.run(until=proc)
+    report, scrub_seconds = proc.value
+    det = detection_stats(report, m2.fs, res.index)
+    return {
+        "truth": float(det["truth"]),
+        "detected": float(det["detected"]),
+        "undetected": float(det["undetected"]),
+        "false_positives": float(det["false_positives"]),
+        "fp_clean": float(clean["false_positives"]),
+        "overhead_pct": overhead_pct,
+        "scrub_seconds": scrub_seconds,
+    }
+
+
 @dataclass
 class ResilienceResult:
     """Mean goodput/durability per (method, failure count)."""
@@ -169,6 +268,9 @@ class ResilienceResult:
     cells: Dict[str, Dict[int, Dict[str, float]]] = field(
         default_factory=dict
     )  # method -> k -> mean metrics
+    integrity: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )  # method -> mean detection/overhead metrics
 
     def goodput(self, method: str, k: int) -> float:
         return self.cells[method][k]["goodput"]
@@ -189,7 +291,7 @@ class ResilienceResult:
                     c["completed"] * 100.0,
                     c["reported_time"],
                 ))
-        return format_table(
+        table = format_table(
             ["method", "OSTs failed", "goodput (MB/s)", "durable %",
              "runs clean %", "t_complete (s)"],
             rows,
@@ -199,6 +301,30 @@ class ResilienceResult:
                 f"{int(self.preset['n_osts'])} OSTs, "
                 f"stripe cap {int(self.preset['cap'])}, "
                 f"{self.preset['mb']:.0f} MB/proc, production noise)"
+            ),
+        )
+        if not self.integrity:
+            return table
+        irows = [
+            (
+                method,
+                int(c["truth"]),
+                int(c["detected"]),
+                int(c["undetected"]),
+                int(c["false_positives"] + c["fp_clean"]),
+                c["overhead_pct"],
+                c["scrub_seconds"],
+            )
+            for method, c in self.integrity.items()
+        ]
+        return table + "\n\n" + format_table(
+            ["method", "corrupt blocks", "detected", "undetected",
+             "false pos", "cksum overhead %", "scrub (s)"],
+            irows,
+            title=(
+                "Integrity — scrub detection under injected corruption "
+                "(bitflip x2, torn write, stale index) and checksum "
+                "overhead vs a checksum-free run"
             ),
         )
 
@@ -212,6 +338,10 @@ class ResilienceResult:
                     str(k): dict(metrics) for k, metrics in by_k.items()
                 }
                 for method, by_k in self.cells.items()
+            },
+            "integrity": {
+                method: dict(metrics)
+                for method, metrics in self.integrity.items()
             },
         }
 
@@ -245,4 +375,22 @@ def run(scale: "Scale | str" = Scale.SMALL,
                 key: float(np.mean([s[key] for s in samples]))
                 for key in keys
             }
+    for method in METHODS:
+        samples = run_samples(
+            partial(
+                _integrity_cell,
+                method=method,
+                n_osts=preset["n_osts"],
+                cap=preset["cap"],
+                n_ranks=preset["n_ranks"],
+                mb=preset["mb"],
+            ),
+            n_samples,
+            base_seed,
+        )
+        keys = samples[0].keys()
+        result.integrity[method] = {
+            key: float(np.mean([s[key] for s in samples]))
+            for key in keys
+        }
     return result

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.lustre.layout import StripeLayout
 
-__all__ = ["SimFile", "WriteRecord"]
+__all__ = ["SimFile", "StoredBlock", "WriteRecord"]
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,31 @@ class WriteRecord:
 
 
 @dataclass
+class StoredBlock:
+    """The stored state of one variable block, as the OSTs hold it.
+
+    This is the integrity layer's ground truth: ``checksum`` is what a
+    read-back would actually compute over the stored copy (the fault
+    injector mutates it to model bit rot), ``valid_bytes`` < ``nbytes``
+    models a torn write (only a prefix landed), and ``corrupt`` flags
+    any injected mutation — detectable or not — so detection rates can
+    be measured against what really happened.
+    """
+
+    offset: float
+    nbytes: float
+    checksum: Optional[int]
+    valid_bytes: float
+    seq: int  # filesystem-wide store order (recency for the injector)
+    writer: Optional[int] = None
+    corrupt: bool = False
+
+    @property
+    def torn(self) -> bool:
+        return self.valid_bytes < self.nbytes - 1e-9
+
+
+@dataclass
 class SimFile:
     """A file: a stripe layout plus the history of writes against it.
 
@@ -40,6 +65,9 @@ class SimFile:
     create_time: float = 0.0
     writes: List[WriteRecord] = field(default_factory=list)
     payloads: Dict[Tuple[float, float], object] = field(default_factory=dict)
+    blocks: Dict[Tuple[float, float], StoredBlock] = field(
+        default_factory=dict
+    )
     closed: bool = False
 
     @property
@@ -64,6 +92,51 @@ class SimFile:
     def payload_at(self, offset: float, nbytes: float) -> object:
         """The payload tag stored for an exact extent, or None."""
         return self.payloads.get((offset, nbytes))
+
+    def attach_local_index(self, entries) -> None:
+        """Attach the file's local-index footer as a metadata payload.
+
+        The BP layout stores each file's own index inside the file;
+        this is what index rebuild (fsck) recovers the global index
+        from when the master index is lost.  Transports that pay
+        simulated time for the index write do so separately — this
+        only records the metadata content.
+        """
+        self.payloads[("local_index", self.path)] = (
+            "local_index", tuple(entries),
+        )
+
+    def store_block(
+        self,
+        offset: float,
+        nbytes: float,
+        checksum: Optional[int],
+        seq: int,
+        writer: Optional[int] = None,
+    ) -> StoredBlock:
+        """Register (or overwrite) the stored state of one data block.
+
+        A rewrite at the same extent replaces the block outright — the
+        repair semantics of a retried or fsck-reissued write.
+        """
+        blk = StoredBlock(
+            offset=offset,
+            nbytes=nbytes,
+            checksum=checksum,
+            valid_bytes=float(nbytes),
+            seq=seq,
+            writer=writer,
+        )
+        self.blocks[(offset, nbytes)] = blk
+        return blk
+
+    def block_at(self, offset: float, nbytes: float) -> Optional[StoredBlock]:
+        """The stored block at an exact extent, or None."""
+        return self.blocks.get((offset, nbytes))
+
+    def stored_blocks(self) -> List[StoredBlock]:
+        """Every stored data block, in (offset, nbytes) order."""
+        return [self.blocks[k] for k in sorted(self.blocks)]
 
     def extents(self) -> List[Tuple[float, float]]:
         """(offset, nbytes) of every write, in completion order."""

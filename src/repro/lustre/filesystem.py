@@ -14,7 +14,16 @@ flush before close "to ensure accurate measurements".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -26,7 +35,7 @@ from repro.errors import (
     StripeLimitExceeded,
     WriteTimeout,
 )
-from repro.lustre.file import SimFile, WriteRecord
+from repro.lustre.file import SimFile, StoredBlock, WriteRecord
 from repro.lustre.layout import StripeLayout
 from repro.lustre.mds import MetadataServer
 from repro.lustre.ost import OstPool, OstState
@@ -96,6 +105,13 @@ class FileSystem:
         self.max_flows_per_write = int(max_flows_per_write)
         self._namespace: Dict[str, SimFile] = {}
         self._alloc_cursor = 0
+        self._store_seq = 0
+        # Integrity hook: called with (file, [StoredBlock]) right after
+        # a write registers its blocks.  The fault injector installs a
+        # silent-corruption model here; None means pristine storage.
+        self.corrupt_hook: Optional[
+            Callable[[SimFile, List[StoredBlock]], None]
+        ] = None
 
     # -- namespace ---------------------------------------------------------
     @property
@@ -226,12 +242,20 @@ class FileSystem:
         writer: Optional[int] = None,
         payload: object = None,
         timeout: Optional[float] = None,
+        blocks: Optional[Sequence[Tuple[float, float, Optional[int]]]] = None,
     ) -> Generator:
         """Write ``nbytes`` at ``offset`` from ``node``; returns WriteRecord.
 
         Completion means absorption by the target OSTs (cache or disk);
         use :meth:`flush` for durability.  Returns the record, whose
         duration is the paper's "write time".
+
+        ``blocks`` — ``(offset, nbytes, checksum)`` triples — registers
+        the variable blocks this write carries with the storage layer
+        (see :class:`~repro.lustre.file.StoredBlock`), which is what
+        scrubbing and read-back verification inspect.  Blocks are
+        registered only if the write completes: a failed write leaves
+        no stored state, and a rewrite replaces the previous blocks.
 
         Failure semantics: a write touching a FAILED target raises
         :class:`OstFailedError` — up front if the target is already
@@ -313,6 +337,16 @@ class FileSystem:
             writer=writer,
         )
         f.record_write(record, payload=payload)
+        if blocks:
+            stored = []
+            for boff, bnb, cksum in blocks:
+                self._store_seq += 1
+                stored.append(
+                    f.store_block(boff, bnb, cksum, self._store_seq,
+                                  writer=writer)
+                )
+            if self.corrupt_hook is not None:
+                self.corrupt_hook(f, stored)
         return record
 
     def _withdraw_flows(self, fids: List[int]) -> float:

@@ -34,6 +34,8 @@ class WriterCounters:
     adaptive_writes: int = 0
     retries: int = 0  # write.retry fault instants (timeout + backoff)
     aborts: int = 0  # write.abort fault instants (gave up)
+    corrupt_detected: int = 0  # verify failures + scrub detections
+    repaired: int = 0  # block.repair integrity instants
     time: Dict[str, float] = field(
         default_factory=lambda: {p: 0.0 for p in PHASES}
     )
@@ -80,6 +82,15 @@ def per_writer_counters(events: List[TraceEvent]) -> List[WriterCounters]:
                 writer_of(ev).retries += 1
             elif ev.name == "write.abort":
                 writer_of(ev).aborts += 1
+            continue
+        if ev.cat == "integrity" and ev.ph == "i":
+            # Integrity instants: per-writer detections (a failed
+            # read-back verify or a scrub hit attributed to the block's
+            # writer) and repairs (a verify-failed block rewritten ok).
+            if ev.name in ("write.verify_fail", "scrub.detect"):
+                writer_of(ev).corrupt_detected += 1
+            elif ev.name == "block.repair":
+                writer_of(ev).repaired += 1
             continue
         if ev.cat != "writer" or ev.name not in PHASES:
             continue
@@ -140,22 +151,32 @@ def render_report(
         adaptive = sum(w.adaptive_writes for w in run_wcs)
         retries = sum(w.retries for w in run_wcs)
         aborts = sum(w.aborts for w in run_wcs)
+        detected = sum(w.corrupt_detected for w in run_wcs)
+        repaired = sum(w.repaired for w in run_wcs)
         summary = (
             f"# run {run}: {len(run_wcs)} writers, "
             f"{_fmt_bytes(total_bytes)} in {total_writes} writes "
             f"({adaptive} steered adaptively)"
         )
-        # Fault columns appear only when faults actually bit: the
-        # fault-free report stays byte-identical.
+        # Fault/integrity columns appear only when faults actually bit:
+        # the fault-free report stays byte-identical.
         faulty = retries > 0 or aborts > 0
+        integrity = detected > 0 or repaired > 0
         if faulty:
             summary += f"; {retries} retries, {aborts} aborts"
+        if integrity:
+            summary += (
+                f"; {detected} corrupt block(s) detected, "
+                f"{repaired} repaired"
+            )
         lines.append(summary)
         header = (
             f"{'writer':<12} {'bytes':>10} {'writes':>6} {'adapt':>5} "
         )
         if faulty:
             header += f"{'retry':>5} {'abort':>5} "
+        if integrity:
+            header += f"{'det':>4} {'rep':>4} "
         header += (
             f"{'t_wait':>9} {'t_index':>9} {'t_write':>9} "
             f"{'slowest':>8} {'fastest':>8}"
@@ -169,6 +190,8 @@ def render_report(
             )
             if faulty:
                 row += f"{wc.retries:>5d} {wc.aborts:>5d} "
+            if integrity:
+                row += f"{wc.corrupt_detected:>4d} {wc.repaired:>4d} "
             row += (
                 f"{wc.time['wait']:>9.4f} {wc.time['index']:>9.4f} "
                 f"{wc.time['write']:>9.4f} "

@@ -91,3 +91,20 @@ class TestScanFallback:
         machine, _, _ = written
         with pytest.raises(ValueError):
             BpReader(machine.fs)
+
+
+class TestCorruptIndex:
+    def test_duplicate_block_entries_rejected(self, written):
+        """A (var, writer) with multiple index blocks is a corrupt
+        index: read_block must refuse rather than pick one."""
+        from repro.core.index import GlobalIndex, IndexEntry
+
+        machine, _, res = written
+        dup = GlobalIndex()
+        entry = IndexEntry(var="alpha", writer=5, offset=0.0, nbytes=8000.0)
+        dup.add_file(res.files[0], [entry])
+        dup.add_file(res.files[1], [entry])
+        reader = BpReader(machine.fs, dup)
+        gen = reader.read_block(node=0, var="alpha", writer=5)
+        with pytest.raises(FileSystemError, match="corrupt index"):
+            next(gen)

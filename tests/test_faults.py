@@ -102,6 +102,30 @@ class TestSerialization:
         with pytest.raises(FaultPlanError):
             FaultPlan.from_json(str(p))
 
+    def test_unknown_event_kind_named_in_error(self):
+        """from_dict must name the offending kind and event position,
+        not blow up inside FaultEvent with a generic message."""
+        with pytest.raises(FaultPlanError, match=r"events\[1\].*ost_meltdown"):
+            FaultPlan.from_dict({
+                "events": [
+                    {"time": 1.0, "kind": "ost_fail", "target": 0},
+                    {"time": 2.0, "kind": "ost_meltdown", "target": 1},
+                ],
+            })
+
+    def test_non_object_event_rejected(self):
+        with pytest.raises(FaultPlanError, match=r"events\[0\]"):
+            FaultPlan.from_dict({"events": ["ost_fail"]})
+
+    def test_unknown_event_keys_name_position_and_kind(self):
+        with pytest.raises(FaultPlanError, match=r"events\[0\].*ost_fail"):
+            FaultPlan.from_dict({
+                "events": [
+                    {"time": 1.0, "kind": "ost_fail", "target": 0,
+                     "surprise": 1},
+                ],
+            })
+
 
 class TestResolution:
     def test_no_plan_means_no_injector(self):

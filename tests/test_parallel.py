@@ -182,6 +182,21 @@ class TestFaultedRunsParallel:
         parallel = run_samples(cell, 2, base_seed=0, jobs=2)
         assert serial == parallel
 
+    def test_corruption_cell_bit_identical_to_serial(self):
+        """Corruption faults + scrub are seed-deterministic: an
+        integrity cell (three runs + a scrub + detection stats) must
+        produce identical reports serial and fanned out."""
+        from repro.harness.figures.resilience import _integrity_cell
+
+        cell = partial(
+            _integrity_cell, method="adaptive",
+            n_osts=16, cap=4, n_ranks=64, mb=16.0,
+        )
+        serial = run_samples(cell, 2, base_seed=0, jobs=1)
+        parallel = run_samples(cell, 2, base_seed=0, jobs=2)
+        assert serial == parallel
+        assert all(s["undetected"] == 0.0 for s in serial)
+
     def test_env_fault_plan_reaches_workers(self, tmp_path):
         """REPRO_FAULTS (the --faults propagation channel) must be
         honoured by worker processes: machines built in a worker pick
