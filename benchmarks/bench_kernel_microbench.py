@@ -11,10 +11,16 @@ as mysteriously slow benchmark sessions:
   set and unchanged capacities (the "timer fired, nothing moved"
   case the fabric can skip reallocation for).
 * **settles/sec (churn)** — fabric settles where the flow set changes
-  every time (start + cancel), forcing a full max-min reallocation.
+  every time (start + cancel, each forced synchronous), the case the
+  incremental reallocator exists for: only the touched sink's flows
+  are repriced, bit-identically to a batch reallocation.
 * **allocs/sec (single-bottleneck)** — ``max_min_fair_rates`` on the
   by-far-most-common shape: every flow blocked by one shared sink
   capacity level (the fast path).
+* **flow arrivals/sec (grouped)** — batches of flows released at one
+  simulated instant through a live calendar: same-instant coalescing
+  folds each batch into a single end-of-instant settle, so the cost
+  per arrival is bookkeeping, not a reallocation.
 
 Results land in ``benchmarks/results/BENCH_kernel.json``; the
 previously committed numbers are carried along under ``"previous"``
@@ -32,13 +38,14 @@ from repro.net.fabric import FlowNetwork, UniformSinkPool, max_min_fair_rates
 from repro.sim import Environment
 
 _SCALES = {
-    # (ticker procs, hops each, fabric flows, settles, alloc reps)
+    # (ticker procs, hops each, fabric flows, settles, alloc reps,
+    #  grouped-release arrivals)
     "smoke": dict(n_procs=50, n_hops=200, n_flows=512, n_settles=60,
-                  n_allocs=100),
+                  n_allocs=100, n_group_flows=1280),
     "small": dict(n_procs=200, n_hops=500, n_flows=2048, n_settles=200,
-                  n_allocs=300),
+                  n_allocs=300, n_group_flows=6400),
     "paper": dict(n_procs=400, n_hops=1000, n_flows=16384, n_settles=400,
-                  n_allocs=1000),
+                  n_allocs=1000, n_group_flows=12800),
 }
 
 
@@ -70,6 +77,7 @@ def _fresh_network(n_flows, n_src=256, n_sinks=64):
             int(rng.integers(0, n_src)), int(rng.integers(0, n_sinks)),
             1e15,
         )
+    net.invalidate()  # fold the deferred settle; start from a live state
     return env, net
 
 
@@ -84,15 +92,55 @@ def bench_settles_steady(n_flows, n_settles):
 
 
 def bench_settles_churn(n_flows, n_settles):
-    """Settles forced through full reallocation by flow-set churn."""
+    """Settles forced through reallocation by flow-set churn.
+
+    ``invalidate()`` after every mutation makes each settle synchronous
+    (mutations alone only *request* a deferred settle), so this measures
+    one reallocation per op — served by the incremental patch path when
+    eligible, the batch allocator otherwise.
+    """
     _env, net = _fresh_network(n_flows)
     t0 = time.perf_counter()
     for i in range(n_settles):
         net.start_flow(i % net.n_sources, i % net.n_sinks, 1e15)
+        net.invalidate()
         net.cancel_flow(net._next_id - 1)  # the flow just started
+        net.invalidate()
     dt = time.perf_counter() - t0
     # Each iteration settles twice (start + cancel).
-    return 2 * n_settles / dt, dt
+    return 2 * n_settles / dt, dt, net.incremental_count
+
+
+def bench_group_release(n_arrivals, group_size=64):
+    """Same-instant group releases through a live calendar.
+
+    A process starts *group_size* flows at one simulated instant, then
+    yields; the fabric coalesces each burst into a single end-of-instant
+    settle.  Measures flow arrivals per wall-clock second — the number
+    that bounds how fast a sweep can spin up thousands of writers.
+    """
+    env = Environment()
+    pool = UniformSinkPool(64, 1.8e8)
+    net = FlowNetwork(env, np.full(256, 1.6e9), pool,
+                      default_flow_cap=3e8)
+    n_groups = n_arrivals // group_size
+
+    def _releaser():
+        i = 0
+        for _ in range(n_groups):
+            for _ in range(group_size):
+                # Small flows: they complete between bursts, so the
+                # network stays at one burst's worth of active flows.
+                net.start_flow(i % 256, i % 64, 1e6)
+                i += 1
+            yield env.timeout(0.01)
+
+    env.process(_releaser(), name="release")
+    t0 = time.perf_counter()
+    env.run()
+    dt = time.perf_counter() - t0
+    n_flows = n_groups * group_size
+    return n_flows / dt, dt, net.realloc_count, net.coalesced_count
 
 
 def bench_alloc_single_bottleneck(n_reps, n_flows=4096):
@@ -110,12 +158,23 @@ def bench_alloc_single_bottleneck(n_reps, n_flows=4096):
     return n_reps / dt, dt
 
 
+def _collected(fn, *args):
+    """Run one sub-benchmark with a clean slate: the previous section's
+    garbage (dead Events, retired networks) must not be collected on
+    this section's clock."""
+    import gc
+
+    gc.collect()
+    return fn(*args)
+
+
 def _measure(cfg):
     return (
-        bench_events(cfg["n_procs"], cfg["n_hops"]),
-        bench_settles_steady(cfg["n_flows"], cfg["n_settles"]),
-        bench_settles_churn(cfg["n_flows"], cfg["n_settles"]),
-        bench_alloc_single_bottleneck(cfg["n_allocs"]),
+        _collected(bench_events, cfg["n_procs"], cfg["n_hops"]),
+        _collected(bench_settles_steady, cfg["n_flows"], cfg["n_settles"]),
+        _collected(bench_settles_churn, cfg["n_flows"], cfg["n_settles"]),
+        _collected(bench_alloc_single_bottleneck, cfg["n_allocs"]),
+        _collected(bench_group_release, cfg["n_group_flows"]),
     )
 
 
@@ -127,8 +186,9 @@ def test_kernel_microbench(benchmark, scale, save_result):
     (
         (ev_rate, n_events, ev_dt),
         (steady_rate, steady_dt),
-        (churn_rate, churn_dt),
+        (churn_rate, churn_dt, churn_incremental),
         (alloc_rate, alloc_dt),
+        (group_rate, group_dt, group_reallocs, group_coalesced),
     ) = benchmark.pedantic(_measure, args=(cfg,), rounds=1, iterations=1)
 
     data = {
@@ -137,12 +197,17 @@ def test_kernel_microbench(benchmark, scale, save_result):
         "n_events": int(n_events),
         "settles_per_sec_steady": steady_rate,
         "settles_per_sec_churn": churn_rate,
+        "churn_incremental_reallocs": int(churn_incremental),
         "allocs_per_sec_single_bottleneck": alloc_rate,
+        "flow_arrivals_per_sec_grouped": group_rate,
+        "grouped_reallocs": int(group_reallocs),
+        "grouped_coalesced": int(group_coalesced),
         "wall": {
             "events": ev_dt,
             "settles_steady": steady_dt,
             "settles_churn": churn_dt,
             "alloc": alloc_dt,
+            "group_release": group_dt,
         },
     }
     # Carry the previously committed numbers along so the JSON records
@@ -161,8 +226,11 @@ def test_kernel_microbench(benchmark, scale, save_result):
         f"  events/sec            {ev_rate:12.0f}  "
         f"({n_events} events in {ev_dt:.2f}s)\n"
         f"  settles/sec (steady)  {steady_rate:12.0f}\n"
-        f"  settles/sec (churn)   {churn_rate:12.0f}\n"
-        f"  allocs/sec (1-btlnk)  {alloc_rate:12.0f}"
+        f"  settles/sec (churn)   {churn_rate:12.0f}  "
+        f"({churn_incremental} incremental)\n"
+        f"  allocs/sec (1-btlnk)  {alloc_rate:12.0f}\n"
+        f"  arrivals/sec (group)  {group_rate:12.0f}  "
+        f"({group_reallocs} reallocs, {group_coalesced} coalesced)"
     )
     save_result("kernel", text, data=data)
 
@@ -171,3 +239,7 @@ def test_kernel_microbench(benchmark, scale, save_result):
     assert ev_rate > 10_000
     assert steady_rate > 50
     assert churn_rate > 50
+    assert group_rate > 100
+    # Coalescing must actually engage: far fewer reallocations than
+    # arrivals.
+    assert group_reallocs < cfg["n_group_flows"] / 8

@@ -1,0 +1,164 @@
+"""Jaguar-scale validation: one full-machine cell per headline figure.
+
+Not a statistics run — this proves the fabric's churn-path machinery
+(incremental max-min reallocation + same-instant settle coalescing)
+sustains the paper's *actual* machine size in tractable wall time:
+
+* **fig1 cell** — IOR at the ``large`` preset: 672 OSTs, 12
+  writers/OST = 8064 writers, 8 MB each, one sample.
+* **fig6 cells** — XGC1 at the ``large`` preset: 672-OST pool, 8192
+  processes, interference condition, MPI-IO and adaptive transports.
+
+Results land in ``benchmarks/results/BENCH_scale.json``.  The
+``previous`` block holds the same cells measured on the pre-optimization
+fabric (batch reallocation on every mutation, no coalescing), captured
+once before this change landed; the ratio of ``run_seconds`` /
+``wall_seconds`` against it is the headline number of the optimization.
+
+Unlike the other benches this file pins its own scale: running it at
+``smoke``/``small`` would measure nothing of interest.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.experiment import Scale
+from repro.harness.figures import fig1
+from repro.harness.figures.appbench import _run_cell, preset_for
+
+# Pre-optimization numbers for the identical cells (same seeds, same
+# presets), measured on the batch-reallocation fabric.  Frozen here —
+# the point of the file is the before/after record.
+_PREVIOUS = {
+    "fig1_cell": {
+        "n_osts": 672,
+        "n_writers": 8064,
+        "size_mb": 8,
+        "run_seconds": 3.7069,
+        "write_bandwidth": 301144926602.18,
+        "settle_count": 8065,
+        "realloc_count": 8064,
+    },
+    "fig6_cell": {
+        "mpiio": {
+            "wall_seconds": 74.357,
+            "reported_time": 120.2062,
+            "bandwidth": 2589682467.6,
+        },
+        "adaptive": {
+            "wall_seconds": 182.878,
+            "reported_time": 8.1823,
+            "bandwidth": 38045057583.6,
+        },
+    },
+}
+
+
+def _fig1_large_cell(seed: int = 0):
+    """The fig1 ``large`` cell, instrumented: wall time + fabric counters."""
+    from repro.interference import install_production_noise
+    from repro.interference.markov import global_chain, per_ost_chain
+    from repro.interference.production import NoisePreset
+    from repro.ior import IorConfig, run_ior
+    from repro.machines import jaguar
+    from repro.units import MB
+
+    preset = fig1._PRESETS[Scale.LARGE]
+    n_osts = preset["n_osts"]
+    n_writers = preset["ratios"][0] * n_osts
+    size_mb = preset["sizes_mb"][0]
+
+    machine = jaguar(n_osts=n_osts).build(n_ranks=n_writers, seed=seed)
+    install_production_noise(
+        machine,
+        preset=NoisePreset(per_ost_chain(), global_chain(), intensity=0.25),
+        live=False,
+    )
+    t0 = time.perf_counter()
+    res = run_ior(
+        machine,
+        IorConfig(
+            n_writers=n_writers,
+            block_size=size_mb * MB,
+            api="posix",
+            n_osts_used=n_osts,
+        ),
+    )
+    dt = time.perf_counter() - t0
+    fab = machine.fs.fabric
+    return {
+        "n_osts": n_osts,
+        "n_writers": n_writers,
+        "size_mb": size_mb,
+        "run_seconds": dt,
+        "write_bandwidth": res.write_bandwidth,
+        "settle_count": int(fab.settle_count),
+        "realloc_count": int(fab.realloc_count),
+        "incremental_count": int(fab.incremental_count),
+        "coalesced_count": int(fab.coalesced_count),
+    }
+
+
+def _fig6_large_cells(seed: int = 0):
+    """Both transports' interference cells at the ``large`` preset."""
+    from repro.apps.xgc1 import xgc1
+
+    cfg = preset_for(Scale.LARGE)
+    n_procs = cfg.proc_counts[0]
+    out = {}
+    for transport in ("mpiio", "adaptive"):
+        t0 = time.perf_counter()
+        sample = _run_cell(
+            xgc1(), transport, "interference", n_procs, seed, cfg=cfg
+        )
+        out[transport] = {
+            "wall_seconds": time.perf_counter() - t0,
+            "reported_time": sample.reported_time,
+            "bandwidth": sample.bandwidth,
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="scale")
+def test_jaguar_scale_cells(benchmark, save_result):
+    fig1_cell, fig6_cell = benchmark.pedantic(
+        lambda: (_fig1_large_cell(), _fig6_large_cells()),
+        rounds=1,
+        iterations=1,
+    )
+    data = {
+        "scale": "large",
+        "fig1_cell": fig1_cell,
+        "fig6_cell": fig6_cell,
+        "previous": _PREVIOUS,
+    }
+    prev = _PREVIOUS["fig1_cell"]
+    speedup = prev["run_seconds"] / fig1_cell["run_seconds"]
+    text = (
+        "Jaguar-scale cells (672 OSTs)\n"
+        f"  fig1  8064 writers x 8 MB   "
+        f"{fig1_cell['run_seconds']:8.2f}s  "
+        f"(was {prev['run_seconds']:.2f}s, {speedup:.1f}x)\n"
+        f"        settles {fig1_cell['settle_count']}, "
+        f"reallocs {fig1_cell['realloc_count']}, "
+        f"incremental {fig1_cell['incremental_count']}, "
+        f"coalesced {fig1_cell['coalesced_count']}"
+    )
+    for transport in ("mpiio", "adaptive"):
+        cell = fig6_cell[transport]
+        was = _PREVIOUS["fig6_cell"][transport]["wall_seconds"]
+        text += (
+            f"\n  fig6  {transport:8s} 8192 procs "
+            f"{cell['wall_seconds']:8.2f}s  "
+            f"(was {was:.2f}s, {was / cell['wall_seconds']:.1f}x)"
+        )
+    save_result("scale", text, data=data)
+
+    # The cells must complete and must actually exercise the machinery.
+    assert fig1_cell["n_writers"] >= 8000
+    assert fig1_cell["write_bandwidth"] > 0
+    assert fig6_cell["adaptive"]["bandwidth"] > 0
+    assert (
+        fig1_cell["incremental_count"] + fig1_cell["coalesced_count"] > 0
+    )

@@ -136,6 +136,7 @@ class AdaptiveTransport(Transport):
             return self._run_faulted(machine, app, output_name)
         env = machine.env
         fs = machine.fs
+        self._watch_fabric(machine)
         n_ranks = machine.n_ranks
         n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
         if not 1 <= n_groups <= machine.n_osts:
@@ -587,6 +588,7 @@ class AdaptiveTransport(Transport):
         """
         env = machine.env
         fs = machine.fs
+        self._watch_fabric(machine)
         faults = machine.faults
         policy = faults.policy
         n_ranks = machine.n_ranks

@@ -326,6 +326,39 @@ class Transport(abc.ABC):
         """Execute one full output operation; blocks the (real) caller
         until the simulated operation has completed."""
 
+    def _watch_fabric(self, machine: "Machine") -> None:
+        """Snapshot the fabric's churn counters at run start.
+
+        :meth:`_finish` turns the snapshot into per-run deltas in
+        ``result.extra`` — how many settles the run triggered, how many
+        hit the allocator, and how many of those the incremental patch
+        path / same-instant coalescing absorbed.  Group releases (N
+        writers opening streams at one simulated instant) show up here
+        as a large ``fabric_coalesced`` with a tiny ``fabric_reallocs``.
+        """
+        fab = machine.fs.fabric
+        self._fabric_snap = (
+            machine,
+            fab.settle_count,
+            fab.realloc_count,
+            fab.incremental_count,
+            fab.coalesced_count,
+        )
+
     def _finish(self, machine: "Machine", result: OutputResult) -> OutputResult:
+        snap = getattr(self, "_fabric_snap", None)
+        if snap is not None and snap[0] is machine:
+            self._fabric_snap = None
+            fab = machine.fs.fabric
+            result.extra["fabric_settles"] = float(fab.settle_count - snap[1])
+            result.extra["fabric_reallocs"] = float(
+                fab.realloc_count - snap[2]
+            )
+            result.extra["fabric_incremental"] = float(
+                fab.incremental_count - snap[3]
+            )
+            result.extra["fabric_coalesced"] = float(
+                fab.coalesced_count - snap[4]
+            )
         result.validate()
         return result

@@ -73,6 +73,7 @@ class MpiIoTransport(Transport):
     ) -> OutputResult:
         env = machine.env
         fs = machine.fs
+        self._watch_fabric(machine)
         n_ranks = machine.n_ranks
         stripe_count = min(
             self.stripe_count or fs.max_stripe_count,

@@ -64,6 +64,7 @@ class PosixTransport(Transport):
     ) -> OutputResult:
         env = machine.env
         fs = machine.fs
+        self._watch_fabric(machine)
         n_ranks = machine.n_ranks
         n_osts = self.n_osts_used or machine.n_osts
         if not 1 <= n_osts <= machine.n_osts:

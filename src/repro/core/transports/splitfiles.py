@@ -62,6 +62,7 @@ class SplitFilesTransport(Transport):
     ) -> OutputResult:
         env = machine.env
         fs = machine.fs
+        self._watch_fabric(machine)
         n_ranks = machine.n_ranks
         cap = fs.max_stripe_count
         n_files = self.n_files or max(1, math.ceil(machine.n_osts / cap))

@@ -68,6 +68,7 @@ class StaggerTransport(Transport):
     ) -> OutputResult:
         env = machine.env
         fs = machine.fs
+        self._watch_fabric(machine)
         n_ranks = machine.n_ranks
         n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
         if not 1 <= n_groups <= machine.n_osts:

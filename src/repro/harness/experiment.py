@@ -10,6 +10,7 @@ from typing import Callable, List, TypeVar
 __all__ = [
     "Scale",
     "n_samples_override",
+    "resolve_preset",
     "run_samples",
     "scale_from_env",
     "sample_seed",
@@ -24,6 +25,7 @@ class Scale(str, Enum):
 
     SMOKE = "smoke"  # seconds; used by the test suite
     SMALL = "small"  # benchmark default: reduced machine, full shape
+    LARGE = "large"  # full Jaguar machine, single sweep cell per figure
     PAPER = "paper"  # publication configuration (slow)
 
     @classmethod
@@ -42,6 +44,32 @@ class Scale(str, Enum):
 def scale_from_env(default: "str | Scale" = Scale.SMALL) -> Scale:
     """Scale selected by the REPRO_SCALE environment variable."""
     return Scale.parse(os.environ.get("REPRO_SCALE", default))
+
+
+# LARGE validates that a full-machine cell *completes* — figures that
+# have nothing machine-size-specific to prove at that scale simply run
+# their PAPER configuration instead of each growing a near-duplicate
+# preset.
+_PRESET_FALLBACKS = {Scale.LARGE: Scale.PAPER}
+
+
+def resolve_preset(presets, scale: "str | Scale"):
+    """Look up a figure's preset table with documented fallbacks.
+
+    ``presets[scale]`` when the figure defines that scale directly;
+    otherwise the fallback chain in :data:`_PRESET_FALLBACKS` (today
+    just ``LARGE -> PAPER``).  Raises ``KeyError`` only for a scale the
+    figure neither defines nor inherits.
+    """
+    scale = Scale.parse(scale)
+    if scale in presets:
+        return presets[scale]
+    fallback = _PRESET_FALLBACKS.get(scale)
+    if fallback is not None and fallback in presets:
+        return presets[fallback]
+    raise KeyError(
+        f"no {scale.value!r} preset (and no fallback) for this figure"
+    )
 
 
 def sample_seed(base_seed: int, sample: int) -> int:

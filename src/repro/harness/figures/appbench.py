@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.apps.base import AppKernel
 from repro.core.transports import AdaptiveTransport, MpiIoTransport
-from repro.harness.experiment import Scale, n_samples_override, run_samples
+from repro.harness.experiment import (
+    Scale,
+    n_samples_override,
+    resolve_preset,
+    run_samples,
+)
 from repro.harness.report import format_table
 from repro.interference import (
     BackgroundWriterJob,
@@ -61,6 +66,13 @@ _PRESETS: Dict[Scale, SweepConfig] = {
         pool_osts=84, adaptive_osts=64, stripe_cap=20,
         proc_counts=(64, 256, 1024), n_samples=3,
     ),
+    # Full machine, one cell: the paper's 672-OST pool at 8192 procs,
+    # one sample per (transport, condition).  Proves the fabric sustains
+    # a full-scale cell, not a statistics run.
+    Scale.LARGE: SweepConfig(
+        pool_osts=672, adaptive_osts=512, stripe_cap=160,
+        proc_counts=(8192,), n_samples=1,
+    ),
     Scale.PAPER: SweepConfig(
         pool_osts=672, adaptive_osts=512, stripe_cap=160,
         proc_counts=(512, 2048, 8192, 16384), n_samples=5,
@@ -69,7 +81,7 @@ _PRESETS: Dict[Scale, SweepConfig] = {
 
 
 def preset_for(scale: "Scale | str") -> SweepConfig:
-    return _PRESETS[Scale.parse(scale)]
+    return resolve_preset(_PRESETS, scale)
 
 
 @dataclass

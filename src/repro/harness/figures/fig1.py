@@ -17,7 +17,12 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.harness.experiment import Scale, n_samples_override, run_samples
+from repro.harness.experiment import (
+    Scale,
+    n_samples_override,
+    resolve_preset,
+    run_samples,
+)
 from repro.harness.report import format_table
 from repro.interference import install_production_noise
 from repro.interference.markov import global_chain, per_ost_chain
@@ -38,6 +43,13 @@ _PRESETS = {
         ratios=(1, 2, 4, 8, 16, 32),
         sizes_mb=(1, 8, 128),
         n_samples=3,
+    ),
+    # Full-machine validation: every OST Jaguar's scratch filesystem
+    # had, one high-churn cell (12 writers/OST -> 8064 writers), one
+    # sample.  Exists to prove a full-scale cell *completes* in
+    # tractable wall time, not to tighten Fig. 1's error bars.
+    Scale.LARGE: dict(
+        n_osts=672, ratios=(12,), sizes_mb=(8,), n_samples=1
     ),
     Scale.PAPER: dict(
         n_osts=512,
@@ -183,7 +195,7 @@ def _one_cell(n_writers: int, size_mb: int, n_osts: int, seed: int) -> Tuple:
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig1Result:
     """Run the Fig. 1 sweep at the given scale preset."""
-    preset = _PRESETS[Scale.parse(scale)]
+    preset = resolve_preset(_PRESETS, scale)
     n_osts = preset["n_osts"]
     n_samples = n_samples_override(preset["n_samples"])
     result = Fig1Result(

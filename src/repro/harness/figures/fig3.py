@@ -19,7 +19,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.harness.experiment import Scale, n_samples_override, run_samples
+from repro.harness.experiment import (
+    Scale,
+    n_samples_override,
+    resolve_preset,
+    run_samples,
+)
 from repro.harness.report import format_table
 from repro.interference import install_production_noise
 from repro.ior import IorConfig, run_ior
@@ -120,7 +125,7 @@ def _sleep(env, seconds: float):
 
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig3Result:
-    preset = _PRESETS[Scale.parse(scale)]
+    preset = resolve_preset(_PRESETS, scale)
     pairs = run_samples(
         partial(_one_pair, n_osts=preset["n_osts"]),
         n_samples_override(preset["n_pairs"]),

@@ -34,7 +34,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.harness.experiment import Scale, n_samples_override, run_samples
+from repro.harness.experiment import (
+    Scale,
+    n_samples_override,
+    resolve_preset,
+    run_samples,
+)
 from repro.harness.report import format_table
 
 __all__ = ["run", "ResilienceResult", "K_FAILED", "METHODS"]
@@ -348,7 +353,7 @@ class ResilienceResult:
 
 def run(scale: "Scale | str" = Scale.SMALL,
         base_seed: int = 0) -> ResilienceResult:
-    preset = _PRESETS[Scale.parse(scale)]
+    preset = resolve_preset(_PRESETS, scale)
     n_samples = n_samples_override(preset["samples"])
     result = ResilienceResult(
         preset={k: float(v) for k, v in preset.items() if k != "samples"},

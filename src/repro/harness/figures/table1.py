@@ -24,7 +24,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.harness.experiment import Scale, n_samples_override, run_samples
+from repro.harness.experiment import (
+    Scale,
+    n_samples_override,
+    resolve_preset,
+    run_samples,
+)
 from repro.harness.report import format_table
 from repro.interference import (
     BackgroundWriterJob,
@@ -171,7 +176,7 @@ def _probe_xtp(seed: int, with_interference: bool) -> float:
 
 
 def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Table1Result:
-    preset = _PRESETS[Scale.parse(scale)]
+    preset = resolve_preset(_PRESETS, scale)
     n = n_samples_override(preset["n_samples"])
     result = Table1Result()
     result.bandwidths["jaguar"] = run_samples(

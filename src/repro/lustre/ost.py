@@ -225,6 +225,13 @@ class OstPool:
         self.faults_active = False
         self._on_change = None  # fabric.invalidate, wired by FileSystem
         self._tracer = None  # wired by Machine.attach_tracer
+        # Drain-rate memo: one fabric settle asks for the same counts'
+        # drain rates up to three times (advance, capacities,
+        # next_transition).  Keyed on the counts array object — the
+        # fabric hands each settle one immutable snapshot — and
+        # dropped whenever a drain input (load_mult / fault_mult)
+        # changes.
+        self._drain_memo: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- wiring ----------------------------------------------------------
     def bind_invalidate(self, callback) -> None:
@@ -272,6 +279,7 @@ class OstPool:
             self.ingest_mult > 1.0 + 1e-9
         ):
             raise ValueError("ingest multipliers must be in (0, 1]")
+        self._drain_memo = None
         if self._on_change is not None:
             self._on_change()
 
@@ -292,6 +300,7 @@ class OstPool:
         self.bytes_lost[i] += lost
         self.cache_level[i] = 0.0
         self._full[i] = False
+        self._drain_memo = None
         if self._on_change is not None:
             self._on_change()
         return lost
@@ -303,6 +312,7 @@ class OstPool:
         self.state[i] = OstState.HUNG
         self.fault_mult[i] = 0.0
         self._ingest_gate[i] = 0.0
+        self._drain_memo = None
         if self._on_change is not None:
             self._on_change()
 
@@ -315,6 +325,7 @@ class OstPool:
         self.state[i] = OstState.DEGRADED
         self.fault_mult[i] = float(factor)
         self._ingest_gate[i] = 1.0
+        self._drain_memo = None
         if self._on_change is not None:
             self._on_change()
 
@@ -324,6 +335,7 @@ class OstPool:
         self.state[i] = OstState.UP
         self.fault_mult[i] = 1.0
         self._ingest_gate[i] = 1.0
+        self._drain_memo = None
         if self._on_change is not None:
             self._on_change()
 
@@ -338,8 +350,15 @@ class OstPool:
     def _drain_rates(self, counts: np.ndarray) -> np.ndarray:
         # Cached bytes keep draining after their writers finish; a quiet
         # disk drains like a single sequential stream.
+        memo = self._drain_memo
+        if memo is not None and memo[0] is counts:
+            return memo[1]
         eff = self.config.drain_curve(np.maximum(counts, 1))
-        return self.config.drain_peak * eff * self.load_mult * self.fault_mult
+        rates = (
+            self.config.drain_peak * eff * self.load_mult * self.fault_mult
+        )
+        self._drain_memo = (counts, rates)
+        return rates
 
     def advance(self, dt: float, inflow: np.ndarray, now: float) -> None:
         if dt <= 0:
@@ -450,7 +469,9 @@ class OstPool:
     # -- inspection ------------------------------------------------------
     def drain_rates(self) -> np.ndarray:
         """Current cache->disk drain rate per OST (snapshot)."""
-        return self._drain_rates(self._last_counts)
+        # Copy: the internal result may be memoized and must not be
+        # mutated by callers.
+        return self._drain_rates(self._last_counts).copy()
 
     def cache_fill_fraction(self) -> np.ndarray:
         cap = self.config.cache_capacity

@@ -20,18 +20,25 @@ flow state vectorially in numpy when it fires.  Per state change the
 work is O(flows) of numpy, never O(flows) of Python — the property that
 makes 16 384-writer experiments feasible.
 
-The allocation is computed by *progressive filling*: raise the rate of
-every unfrozen flow uniformly until some resource (or flow cap)
-saturates, freeze the flows it constrains, remove the committed
-bandwidth, and repeat.  This is the textbook max-min algorithm; each
-round is vectorized and the number of rounds is bounded by the number
-of distinct bottleneck levels.
+Churn (flow arrival and departure) gets two further optimizations:
+
+* **Same-instant coalescing** — mutations mark the affected sinks dirty
+  and defer the settle to a zero-delay, low-priority calendar entry, so
+  a writer group releasing N flows at one simulated timestamp triggers
+  one reallocation instead of N.
+* **Incremental reallocation** — while no source NIC is saturated the
+  max-min allocation decomposes per sink, so a settle whose dirty set
+  is small recomputes only the affected sinks' *canonical shares* and
+  patches the rates in place.  The canonical-share arithmetic (see
+  :func:`_waterfill_sink_shares`) is grouping-independent, which makes
+  the patched result bit-identical to a full batch recomputation — the
+  repo's parallel==serial determinism contract depends on that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, Set, Tuple
 
 import numpy as np
 
@@ -50,6 +57,12 @@ __all__ = [
 
 _EPS_BYTES = 1e-3  # flows within this many bytes of done are done
 _BIG_RATE = 1e18  # rate for flows constrained by nothing
+# A source is treated as unsaturated only when its load clears capacity
+# by this relative margin; anything tighter goes to the general
+# progressive-filling allocator.  The margin is part of the allocation
+# *decision*, applied identically by the batch and incremental paths,
+# so both always pick the same regime.
+_SRC_HEADROOM = 1.0 - 1e-9
 
 
 @dataclass(frozen=True)
@@ -118,6 +131,106 @@ class UniformSinkPool:
         return float("inf")
 
 
+def _waterfill_sink_shares(
+    dst_idx: np.ndarray,
+    flow_cap: np.ndarray,
+    cap_dst: np.ndarray,
+    cnt_dst: np.ndarray,
+) -> np.ndarray:
+    """Canonical per-sink fair-share levels, ignoring source capacities.
+
+    For each sink the share is the waterfill level: flows whose cap
+    fits under the level are frozen at their caps, the rest split the
+    remaining capacity evenly.  Iteration freezes caps in rising
+    waves until a fixed point.
+
+    The arithmetic is deliberately *grouping-independent*: the
+    committed (cap-frozen) bandwidth per sink is accumulated with
+    ``np.bincount`` over flows in ascending slot order, and every
+    iteration recomputes shares from scratch out of the frozen set.
+    Recomputing one sink's share from just that sink's flows therefore
+    reproduces the exact same floats as a pass over the whole flow set
+    — the property the incremental reallocator relies on for
+    bit-identity with the batch allocator.
+
+    ``dst_idx``/``flow_cap`` describe the flow subset (in ascending
+    slot order); ``cap_dst``/``cnt_dst`` are full-size per-sink arrays,
+    where ``cnt_dst`` counts only the subset's flows.  Sinks with
+    infinite capacity or zero count get an infinite share.
+    """
+    n_dst = len(cap_dst)
+    infinite = ~np.isfinite(cap_dst)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        share = np.where(cnt_dst > 0, cap_dst / cnt_dst, np.inf)
+    share[infinite] = np.inf
+    n_flows = len(dst_idx)
+    if n_flows == 0:
+        return share
+    frozen = np.zeros(n_flows, dtype=bool)
+    for _ in range(n_flows + 1):
+        newly = ~frozen & (flow_cap <= share[dst_idx])
+        if not newly.any():
+            break
+        frozen |= newly
+        order = np.nonzero(frozen)[0]  # ascending slot order
+        committed = np.bincount(
+            dst_idx[order], weights=flow_cap[order], minlength=n_dst
+        )
+        live = cnt_dst - np.bincount(dst_idx[order], minlength=n_dst)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(live > 0, (cap_dst - committed) / live, np.inf)
+        share[infinite] = np.inf
+        np.maximum(share, 0.0, out=share)
+    return share
+
+
+def _max_min_shares(
+    src_idx: np.ndarray,
+    dst_idx: np.ndarray,
+    cap_src: np.ndarray,
+    cap_dst: np.ndarray,
+    flow_cap: Optional[np.ndarray] = None,
+    counts_src: Optional[np.ndarray] = None,
+    counts_dst: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Max-min fair rates plus, when available, canonical sink shares.
+
+    Returns ``(rates, share_dst)``.  ``share_dst`` is the per-sink
+    canonical share array such that
+
+        ``rates == minimum(flow_cap, share_dst[dst_idx], _BIG_RATE)``
+
+    whenever the allocation is sink/cap-bound everywhere (no source
+    saturated) — the regime :class:`FlowNetwork`'s incremental path can
+    patch locally.  ``share_dst`` is ``None`` when a source constraint
+    binds and the general progressive-filling allocator produced the
+    rates instead.
+    """
+    n_flows = len(src_idx)
+    n_dst = len(cap_dst)
+    if n_flows == 0:
+        return np.zeros(0), np.full(n_dst, np.inf)
+    if flow_cap is None:
+        flow_cap = np.full(n_flows, np.inf)
+    cap_dst = np.asarray(cap_dst, dtype=np.float64)
+    cap_src = np.asarray(cap_src, dtype=np.float64)
+    if counts_dst is None:
+        cnt_dst = np.bincount(dst_idx, minlength=n_dst).astype(np.float64)
+    else:
+        cnt_dst = np.asarray(counts_dst, dtype=np.float64)
+    share_dst = _waterfill_sink_shares(dst_idx, flow_cap, cap_dst, cnt_dst)
+    rates = np.minimum(flow_cap, share_dst[dst_idx])
+    np.minimum(rates, _BIG_RATE, out=rates)
+    src_load = np.bincount(src_idx, weights=rates, minlength=len(cap_src))
+    if np.all(src_load <= cap_src * _SRC_HEADROOM):
+        return rates, share_dst
+    rates = _progressive_filling(
+        src_idx, dst_idx, cap_src, cap_dst, flow_cap,
+        counts_src=counts_src, counts_dst=counts_dst,
+    )
+    return rates, None
+
+
 def max_min_fair_rates(
     src_idx: np.ndarray,
     dst_idx: np.ndarray,
@@ -148,13 +261,29 @@ def max_min_fair_rates(
     rates:
         Per-flow allocated rate, same length as ``src_idx``.
     """
+    return _max_min_shares(
+        src_idx, dst_idx, cap_src, cap_dst, flow_cap,
+        counts_src=counts_src, counts_dst=counts_dst,
+    )[0]
+
+
+def _progressive_filling(
+    src_idx: np.ndarray,
+    dst_idx: np.ndarray,
+    cap_src: np.ndarray,
+    cap_dst: np.ndarray,
+    flow_cap: np.ndarray,
+    counts_src: Optional[np.ndarray] = None,
+    counts_dst: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """General max-min allocator: textbook progressive filling.
+
+    Handles the entangled case where source saturation couples sinks
+    together.  Slower than the per-sink waterfill but fully general.
+    """
     n_flows = len(src_idx)
-    if n_flows == 0:
-        return np.zeros(0)
     n_src = len(cap_src)
     n_dst = len(cap_dst)
-    if flow_cap is None:
-        flow_cap = np.full(n_flows, np.inf)
 
     # Per-resource live-flow counts; maintained incrementally across
     # rounds (subtracting the newly frozen flows) instead of a fresh
@@ -272,6 +401,17 @@ class FlowNetwork:
     default_flow_cap:
         Per-flow rate ceiling applied when :meth:`start_flow` does not
         override it; models the single-stream client limit.
+
+    Notes
+    -----
+    Flow mutations (:meth:`start_flow`, :meth:`cancel_flow`,
+    :meth:`fail_sink`) do not resettle synchronously: they record the
+    affected sinks and defer one settle to the end of the current
+    simulated instant (a zero-delay, priority-2 calendar entry, which
+    sorts after every same-instant control event).  All N flows a
+    writer group releases at one timestamp are therefore priced at one
+    reallocation.  :meth:`invalidate` remains synchronous — callers use
+    it to force accounting up to *now* before reading state.
     """
 
     def __init__(
@@ -304,7 +444,6 @@ class FlowNetwork:
 
         self._next_id = 0
         self._last_settle = env.now
-        self._generation = 0
         self._stall_now = -1.0
         self._stall_streak = 0
         self._inflow = np.zeros(self.n_sinks, dtype=np.float64)
@@ -319,9 +458,26 @@ class FlowNetwork:
         self._flowset_gen = 0
         self._alloc_gen = -1
         self._last_caps: Optional[np.ndarray] = None
+        # Incremental-reallocation state: the canonical per-sink shares
+        # of the current allocation (valid only when it was computed on
+        # the sink-bound fast path with every source unsaturated), and
+        # the set of sinks whose flow membership changed since.
+        self._share_dst = np.full(self.n_sinks, np.inf)
+        self._shares_valid = False
+        self._dirty_sinks: Set[int] = set()
+        # Above this many dirty sinks a full vectorized batch pass is
+        # cheaper than gathering the affected subset.
+        self._incr_max_dirty = max(4, self.n_sinks // 8)
+        # Deferred-settle and timer calendar entries (cancelled via
+        # Event.cancel when superseded — no tombstones left in the heap).
+        self._settle_pending = False
+        self._settle_event: Optional[Event] = None
+        self._timer_event: Optional[Event] = None
         self.total_bytes_delivered = 0.0
         self.settle_count = 0
         self.realloc_count = 0
+        self.incremental_count = 0  # reallocs served by the patch path
+        self.coalesced_count = 0  # mutations folded into a pending settle
 
     # -- public API ------------------------------------------------------
     @property
@@ -334,6 +490,8 @@ class FlowNetwork:
 
     def sink_inflow(self) -> np.ndarray:
         """Current allocated inflow per sink, bytes/s (snapshot)."""
+        if self._settle_pending:
+            self._settle()
         return self._inflow.copy()
 
     def start_flow(
@@ -387,6 +545,7 @@ class FlowNetwork:
         self._counts[sink] += 1
         self._src_counts[source] += 1
         self._flowset_gen += 1
+        self._dirty_sinks.add(sink)
         tr = self.env.tracer
         if tr is not None and tr.enabled:
             tr.begin(
@@ -396,7 +555,7 @@ class FlowNetwork:
                 tid=f"flow {fid}",
                 args={"source": source, "nbytes": float(nbytes)},
             )
-        self._settle()
+        self._request_settle()
         return ev, fid
 
     def cancel_flow(self, flow_id: int) -> float:
@@ -416,6 +575,7 @@ class FlowNetwork:
         self._counts[self._dst[slot]] -= 1
         self._src_counts[self._src[slot]] -= 1
         self._flowset_gen += 1
+        self._dirty_sinks.add(int(self._dst[slot]))
         tr = self.env.tracer
         if tr is not None and tr.enabled:
             tr.end(
@@ -426,7 +586,7 @@ class FlowNetwork:
                 args={"cancelled": True, "undelivered": left},
             )
         ev.abort(("cancelled", flow_id))
-        self._settle()
+        self._request_settle()
         return left
 
     def fail_sink(self, sink: int) -> float:
@@ -443,7 +603,7 @@ class FlowNetwork:
         act = np.nonzero(self._active)[0]
         victims = act[self._dst[act] == sink]
         if victims.size == 0:
-            self._settle()
+            self._request_settle()
             return 0.0
         tr = self.env.tracer
         traced = tr is not None and tr.enabled
@@ -470,11 +630,16 @@ class FlowNetwork:
                 )
             ev.fail(OstFailedError(sink, f"ost {sink} failed mid-transfer"))
         self._flowset_gen += 1
-        self._settle()
+        self._dirty_sinks.add(int(sink))
+        self._request_settle()
         return total_left
 
     def invalidate(self) -> None:
-        """Force a resettle now (a capacity changed out-of-band)."""
+        """Resettle now (a capacity changed out-of-band).
+
+        Synchronous: any deferred settle is folded in, and accounting
+        (flow progress, pool state, completions) is current on return.
+        """
         self._settle()
 
     # -- internals ---------------------------------------------------------
@@ -502,6 +667,28 @@ class FlowNetwork:
             self._free.extend(range(new - 1, old - 1, -1))
         return self._free.pop()
 
+    def _request_settle(self) -> None:
+        """Defer one settle to the end of the current instant.
+
+        The settle runs as a zero-delay priority-2 calendar entry, i.e.
+        after every priority-1 event already scheduled (or scheduled
+        later) at this timestamp — so all same-instant mutations share
+        it.  A synchronous :meth:`_settle` in the meantime supersedes
+        the deferred one (its calendar entry is cancelled).
+        """
+        if self._settle_pending:
+            self.coalesced_count += 1
+            return
+        self._settle_pending = True
+        self._settle_event = self.env.schedule_callback(
+            0.0, self._on_deferred_settle, priority=2
+        )
+
+    def _on_deferred_settle(self) -> None:
+        self._settle_pending = False
+        self._settle_event = None
+        self._settle()
+
     def _advance_only(self) -> None:
         """Advance flow progress and pool state to now, no reallocation."""
         now = self.env.now
@@ -516,6 +703,14 @@ class FlowNetwork:
 
     def _settle(self) -> None:
         """Advance state to now, complete finished flows, reallocate."""
+        if self._settle_pending:
+            # Folding a deferred settle into this synchronous one;
+            # withdraw its calendar entry instead of leaving a stale
+            # firing behind.
+            self._settle_pending = False
+            ev, self._settle_event = self._settle_event, None
+            if ev is not None:
+                ev.cancel()
         self._advance_only()
         now = self.env.now
         self.settle_count += 1
@@ -536,6 +731,7 @@ class FlowNetwork:
             self._free.append(int(slot))
             self._counts[self._dst[slot]] -= 1
             self._src_counts[self._src[slot]] -= 1
+            self._dirty_sinks.add(int(self._dst[slot]))
             if traced:
                 tr.end(
                     "flow",
@@ -552,6 +748,9 @@ class FlowNetwork:
         if act_slots.size == 0:
             self._inflow = np.zeros(self.n_sinks, dtype=np.float64)
             self._last_caps = None
+            self._shares_valid = False
+            self._dirty_sinks.clear()
+            self._alloc_gen = self._flowset_gen
             # capacities() is where the pool updates internal state
             # (e.g. the cache-full hysteresis flag) — it must run even
             # with no flows, or a drained cache keeps reporting an
@@ -590,18 +789,7 @@ class FlowNetwork:
             # straight to re-arming the timer.
             rates = self._rate[act_slots]
         else:
-            rates = max_min_fair_rates(
-                self._src[act_slots], dst, self._cap_src, caps,
-                self._fcap[act_slots],
-                counts_src=self._src_counts, counts_dst=counts,
-            )
-            self._rate[act_slots] = rates
-            self._inflow = np.bincount(
-                dst, weights=rates, minlength=self.n_sinks
-            )
-            self._alloc_gen = self._flowset_gen
-            self._last_caps = caps.copy()
-            self.realloc_count += 1
+            rates = self._reallocate(act_slots, dst, counts, caps)
             if traced:
                 total = float(self._inflow.sum())
                 tr.instant(
@@ -619,8 +807,108 @@ class FlowNetwork:
         t_pool = self.pool.next_transition(self._inflow, counts, now)
         self._arm_timer(min(t_complete, t_pool))
 
+    def _reallocate(
+        self,
+        act_slots: np.ndarray,
+        dst: np.ndarray,
+        counts: np.ndarray,
+        caps: np.ndarray,
+    ) -> np.ndarray:
+        """Recompute the allocation — incrementally when possible."""
+        rates = None
+        if self._shares_valid and self._last_caps is not None:
+            dirty = self._dirty_sinks
+            if not np.array_equal(caps, self._last_caps):
+                changed = np.nonzero(caps != self._last_caps)[0]
+                if changed.size + len(dirty) <= self._incr_max_dirty:
+                    dirty = dirty | {int(i) for i in changed}
+                else:
+                    dirty = None
+            if dirty is not None and len(dirty) <= self._incr_max_dirty:
+                rates = self._incremental_rates(
+                    act_slots, dst, counts, caps, dirty
+                )
+        if rates is None:
+            rates, share_dst = _max_min_shares(
+                self._src[act_slots], dst, self._cap_src, caps,
+                self._fcap[act_slots],
+                counts_src=self._src_counts, counts_dst=counts,
+            )
+            self._rate[act_slots] = rates
+            self._inflow = np.bincount(
+                dst, weights=rates, minlength=self.n_sinks
+            )
+            if share_dst is not None:
+                self._share_dst = share_dst
+                self._shares_valid = True
+            else:
+                self._shares_valid = False
+        self._dirty_sinks.clear()
+        self._alloc_gen = self._flowset_gen
+        self._last_caps = caps.copy()
+        self.realloc_count += 1
+        return rates
+
+    def _incremental_rates(
+        self,
+        act_slots: np.ndarray,
+        dst: np.ndarray,
+        counts: np.ndarray,
+        caps: np.ndarray,
+        dirty: Set[int],
+    ) -> Optional[np.ndarray]:
+        """Patch the allocation for a small set of perturbed sinks.
+
+        Valid only while no source is saturated: then the max-min
+        allocation decomposes per sink, so only the dirty sinks'
+        canonical shares need recomputing — O(flows at dirty sinks)
+        plus one O(active) feasibility pass, instead of the batch
+        allocator's multi-round global filling.  Returns ``None`` when
+        the patched allocation would push any source within the
+        headroom margin of saturation (the perturbation cascades, the
+        per-sink decomposition no longer holds) — the caller falls back
+        to the batch allocator.  The arithmetic matches the batch
+        sink-bound fast path operation for operation, so a successful
+        patch is bit-identical to what the batch pass would produce.
+        """
+        if not dirty:
+            return self._rate[act_slots]
+        dirty_arr = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
+        if len(dirty) <= 4:
+            mask = np.zeros(dst.shape, dtype=bool)
+            for d in dirty_arr:
+                mask |= dst == d
+        else:
+            mask = np.isin(dst, dirty_arr)
+        sub_slots = act_slots[mask]
+        dst_sub = dst[mask]
+        fcap_sub = self._fcap[sub_slots]
+        cnt_sub = np.zeros(self.n_sinks, dtype=np.float64)
+        cnt_sub[dirty_arr] = counts[dirty_arr]
+        share = _waterfill_sink_shares(dst_sub, fcap_sub, caps, cnt_sub)
+        new_sub = np.minimum(fcap_sub, share[dst_sub])
+        np.minimum(new_sub, _BIG_RATE, out=new_sub)
+        rates = self._rate[act_slots].copy()
+        rates[mask] = new_sub
+        src_load = np.bincount(
+            self._src[act_slots], weights=rates, minlength=self.n_sources
+        )
+        if not np.all(src_load <= self._cap_src * _SRC_HEADROOM):
+            return None
+        self._share_dst[dirty_arr] = share[dirty_arr]
+        self._rate[sub_slots] = new_sub
+        infl = np.bincount(dst_sub, weights=new_sub, minlength=self.n_sinks)
+        self._inflow[dirty_arr] = infl[dirty_arr]
+        self.incremental_count += 1
+        return rates
+
     def _arm_timer(self, delay: float) -> None:
-        self._generation += 1
+        if self._timer_event is not None:
+            # The previous "next state change" prediction is obsolete;
+            # withdraw it from the calendar (lazy heap discard) rather
+            # than letting a tombstone fire into a stale closure.
+            self._timer_event.cancel()
+            self._timer_event = None
         if not np.isfinite(delay):
             return
         # Livelock tripwire: huge numbers of sub-nanosecond re-arms at
@@ -636,14 +924,14 @@ class FlowNetwork:
         else:
             self._stall_now = self.env.now
             self._stall_streak = 0
-        gen = self._generation
-        # Tiny epsilon keeps us from firing a hair *before* the crossing
-        # due to float rounding; _settle is idempotent so firing late by
-        # 1e-9 s only moves work, never loses bytes.
+        # Clamp only: a crossing predicted a hair in the past (float
+        # rounding) fires immediately, and _settle is idempotent — an
+        # early-by-rounding fire recomputes the same allocation and
+        # re-arms, while bytes only ever move by measured elapsed time,
+        # never by the prediction.  No epsilon padding is applied.
         delay = max(delay, 0.0)
+        self._timer_event = self.env.schedule_callback(delay, self._on_timer)
 
-        def fire() -> None:
-            if gen == self._generation:
-                self._settle()
-
-        self.env.schedule_callback(delay, fire)
+    def _on_timer(self) -> None:
+        self._timer_event = None
+        self._settle()

@@ -157,9 +157,10 @@ class Environment:
         is skipped without advancing the clock), so the calendar stays
         a plain heap and cancelling the last pending event leaves it
         genuinely empty.  Callers that re-arm often (the flow network)
-        may instead keep their own generation counter and ignore stale
-        firings — cheaper than cancelling when most timers are
-        superseded before they fire.
+        should cancel the superseded event — a cancelled entry is one
+        tuple skipped during a heap pop, whereas an uncancelled stale
+        entry fires into a dead closure and, under heavy churn, piles
+        thousands of tombstones onto one simulated instant.
         """
         ev = Event(self)
         ev._ok = True

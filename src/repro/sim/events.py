@@ -12,6 +12,11 @@ transfers) does not allocate one event per byte-range but is managed by
 the vectorized flow network in :mod:`repro.net.fabric`; events only carry
 control-plane occurrences (message deliveries, completions, state
 changes), so allocation cost is not the bottleneck.
+
+:meth:`Event.cancel` is the supported way to withdraw a superseded
+calendar entry (e.g. the flow network's re-armed "next state change"
+timer): the heap entry is skipped lazily at pop time, so cancellation
+is O(1) and leaves no tombstone to fire into a stale closure.
 """
 
 from __future__ import annotations

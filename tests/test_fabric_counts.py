@@ -208,6 +208,7 @@ class TestSkipReallocation:
         net = FlowNetwork(env, np.full(2, 1e3), UniformSinkPool(2, 100.0))
         net.start_flow(0, 0, 1e6)
         net.start_flow(1, 1, 1e6)
+        net.invalidate()  # fold the deferred settle; allocation current
         base = net.realloc_count
         for _ in range(10):
             net.invalidate()
@@ -217,8 +218,10 @@ class TestSkipReallocation:
         env = Environment()
         net = FlowNetwork(env, np.full(2, 1e3), UniformSinkPool(2, 100.0))
         net.start_flow(0, 0, 1e6)
+        net.invalidate()
         base = net.realloc_count
         net.start_flow(1, 0, 1e6)
+        net.invalidate()  # flush the deferred settle for the arrival
         assert net.realloc_count == base + 1
 
     def test_capacity_change_forces_reallocation(self):
@@ -241,6 +244,7 @@ class TestSkipReallocation:
         net = FlowNetwork(env, np.full(3, 1e3), UniformSinkPool(1, 90.0))
         for i in range(3):
             net.start_flow(i, 0, 1e9)
+        net.invalidate()  # fold the deferred settle; rates now assigned
         rates = net._rate[net._active].copy()
         for _ in range(5):
             net.invalidate()

@@ -1,0 +1,183 @@
+"""Randomized equivalence of incremental vs batch reallocation.
+
+The incremental reallocator (:meth:`FlowNetwork._incremental_rates`)
+must be *bit-identical* to the batch allocator — the repo's
+parallel==serial determinism contract rides on every settle producing
+the same floats no matter which path computed them.  These tests drive
+a live network through thousands of randomized mutations (flow
+arrivals, cancellations, sink fail-stops, capacity brownouts, elapsed
+time with completions) and after every single operation recompute the
+allocation from scratch with :func:`max_min_fair_rates`, asserting
+exact ``==`` agreement — no tolerances anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OstFailedError
+from repro.net.fabric import (
+    FlowNetwork,
+    UniformSinkPool,
+    _BIG_RATE,
+    max_min_fair_rates,
+)
+from repro.sim.engine import Environment
+from repro.sim.events import EventAborted
+
+
+class MutableCapPool:
+    """Sink pool with externally settable per-sink capacities."""
+
+    def __init__(self, caps: np.ndarray):
+        self.n_sinks = len(caps)
+        self._caps = np.asarray(caps, dtype=np.float64).copy()
+
+    def set_capacity(self, sink: int, cap: float) -> None:
+        self._caps[sink] = float(cap)
+
+    def advance(self, dt, inflow, now):
+        pass
+
+    def capacities(self, counts, now):
+        return self._caps
+
+    def next_transition(self, inflow, counts, now):
+        return float("inf")
+
+
+def _swallow(ev):
+    """Park flow events so aborts/failures don't crash the run."""
+    def _cb(e):
+        if not e.ok:
+            assert isinstance(e.value, (EventAborted, OstFailedError))
+    ev.add_callback(_cb)
+
+
+def _assert_alloc_matches_batch(net: FlowNetwork) -> None:
+    """Live rates must equal a from-scratch batch allocation, exactly."""
+    act = np.nonzero(net._active)[0]
+    if act.size == 0:
+        assert not net._inflow.any()
+        return
+    caps = net._last_caps
+    assert caps is not None
+    expected = max_min_fair_rates(
+        net._src[act], net._dst[act], net._cap_src, caps, net._fcap[act],
+    )
+    got = net._rate[act]
+    assert (got == expected).all(), (
+        f"incremental/batch divergence: max |delta| = "
+        f"{np.abs(got - expected).max()}"
+    )
+    inflow = np.bincount(
+        net._dst[act],
+        weights=np.minimum(got, _BIG_RATE),
+        minlength=net.n_sinks,
+    )
+    assert (net._inflow == inflow).all()
+
+
+def _churn(seed: int, n_ops: int, cap_src_val: float) -> FlowNetwork:
+    """Drive a network through n_ops random mutations, checking each."""
+    rng = np.random.default_rng(seed)
+    n_src, n_sinks = 64, 16
+    env = Environment()
+    pool = MutableCapPool(np.full(n_sinks, 2e8))
+    net = FlowNetwork(env, np.full(n_src, cap_src_val), pool)
+    live: list[int] = []
+
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.45 or not live:
+            # Arrival; mixed finite/infinite flow caps, duplicate cap
+            # values on purpose (exercise multi-wave waterfills).
+            fcap = (
+                np.inf
+                if rng.random() < 0.3
+                else float(rng.choice([5e6, 2e7, 9e7, 4e8]))
+            )
+            ev, fid = net.start_flow_with_id(
+                int(rng.integers(n_src)),
+                int(rng.integers(n_sinks)),
+                float(rng.uniform(1e6, 1e12)),
+                flow_cap=fcap,
+            )
+            _swallow(ev)
+            live.append(fid)
+        elif op < 0.70:
+            fid = live.pop(int(rng.integers(len(live))))
+            net.cancel_flow(fid)
+        elif op < 0.80:
+            victim = int(rng.integers(n_sinks))
+            net.fail_sink(victim)
+            live = [f for f in live if f in net._records]
+        elif op < 0.93:
+            # Brownout / recovery: capacity change at one sink.
+            sink = int(rng.integers(n_sinks))
+            pool.set_capacity(sink, float(rng.uniform(1e7, 3e8)))
+            net.invalidate()
+        else:
+            # Let time pass so flows complete inside _settle.
+            env.run(until=env.now + float(rng.uniform(1e-4, 50.0)))
+            live = [f for f in live if f in net._records]
+        net.invalidate()
+        _assert_alloc_matches_batch(net)
+    return net
+
+
+def test_incremental_matches_batch_exactly():
+    """Thousands of random ops; exact equality after every one."""
+    net = _churn(seed=7, n_ops=1500, cap_src_val=1.6e9)
+    # The point of the test is the fast path: make sure it actually ran.
+    assert net.incremental_count > 200
+    assert net.realloc_count > net.incremental_count
+
+
+def test_incremental_matches_batch_under_source_pressure():
+    """Tight source NICs force general-allocator fallbacks; the regime
+    flips back and forth and every flip must stay exact."""
+    net = _churn(seed=11, n_ops=800, cap_src_val=3e7)
+    assert net.realloc_count > 0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_incremental_matches_batch_more_seeds(seed):
+    _churn(seed=seed, n_ops=400, cap_src_val=1.6e9)
+
+
+def test_group_release_coalesces_to_one_settle():
+    """N same-instant flow starts settle once, and the result is the
+    batch allocation of the full group."""
+    env = Environment()
+    pool = MutableCapPool(np.full(8, 2e8))
+    net = FlowNetwork(env, np.full(32, 1.6e9), pool)
+
+    def release(n):
+        for i in range(n):
+            _swallow(net.start_flow(i % 32, i % 8, 1e9))
+        yield env.timeout(0.0)
+
+    env.process(release(64), name="group")
+    env.run(until=1e-6)
+    # 64 arrivals, one deferred settle (63 mutations coalesced).
+    assert net.coalesced_count >= 63
+    assert net.realloc_count == 1
+    _assert_alloc_matches_batch(net)
+
+
+def test_invalidate_is_synchronous_and_folds_deferral():
+    env = Environment()
+    net = FlowNetwork(env, np.full(4, 1e9), UniformSinkPool(2, 1e8))
+    _swallow(net.start_flow(0, 0, 1e9))
+    assert net._settle_pending
+    net.invalidate()
+    assert not net._settle_pending
+    rates = net._rate[net._active]
+    assert rates.size == 1 and float(rates[0]) == 1e8
+    # The deferred entry was cancelled, not left to fire a second
+    # settle at the same instant.
+    settles = net.settle_count
+    env.run(until=1e-9)
+    assert net.settle_count == settles

@@ -166,6 +166,29 @@ class TestTracerAbsorb:
         assert t.n_runs == 2
 
 
+class TestChurnHeavyCellParallel:
+    def test_interference_cell_bit_identical_to_serial(self):
+        """Churn is where the incremental reallocator and same-instant
+        settle coalescing live: an interference cell keeps background
+        writers starting/finishing flows continuously, so most settles
+        take the incremental patch path.  The cell must still fan out
+        bit-identically — the patched allocations are exactly the batch
+        ones."""
+        from repro.apps.xgc1 import xgc1
+        from repro.harness.figures.appbench import SweepConfig, _run_cell
+
+        cfg = SweepConfig(
+            pool_osts=12, adaptive_osts=8, stripe_cap=4,
+            proc_counts=(24,), n_samples=2,
+        )
+        cell = partial(
+            _run_cell, xgc1(), "adaptive", "interference", 24, cfg=cfg
+        )
+        serial = run_samples(cell, 2, base_seed=3, jobs=1)
+        parallel = run_samples(cell, 2, base_seed=3, jobs=2)
+        assert serial == parallel
+
+
 class TestFaultedRunsParallel:
     def test_faulted_sweep_cell_bit_identical_to_serial(self):
         """Fault injection must not break the parallel contract: a
