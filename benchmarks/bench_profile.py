@@ -1,0 +1,119 @@
+"""Wall-clock self-profile of one fully-instrumented application cell.
+
+Runs the paper's headline scenario — an adaptive-transport write under
+interference — with the complete telemetry stack attached (metrics
+registry, settle-mode monitor, straggler detector) and the
+:class:`repro.telemetry.Profiler` wrapped around the run, then records
+where the real time went: engine calendar loop, fabric settles,
+transport protocol code, tracer overhead, everything else.
+
+This is the number that tells you *what to optimise next*.  The large
+preset is the full-machine acceptance cell: 8192 processes writing to
+the 672-OST Jaguar pool.  Results land in
+``benchmarks/results/BENCH_profile.json`` with the previously committed
+breakdown carried under ``"previous"``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.apps.gtc import gtc
+from repro.core.transports import AdaptiveTransport
+from repro.interference import BackgroundWriterJob, install_production_noise
+from repro.machines import jaguar
+from repro.telemetry import MetricsRegistry, profiling
+from repro.units import GB
+
+_SCALES = {
+    # Mirrors the appbench sweep presets (pool size, adaptive target
+    # count, stripe cap, process count); one interference cell each.
+    "smoke": dict(pool_osts=12, adaptive_osts=8, stripe_cap=4,
+                  n_procs=32),
+    "small": dict(pool_osts=84, adaptive_osts=64, stripe_cap=20,
+                  n_procs=256),
+    "large": dict(pool_osts=672, adaptive_osts=512, stripe_cap=160,
+                  n_procs=8192),
+    "paper": dict(pool_osts=672, adaptive_osts=512, stripe_cap=160,
+                  n_procs=8192),
+}
+
+
+def _profiled_cell(cfg, seed=0):
+    registry = MetricsRegistry()
+    spec = jaguar(n_osts=cfg["pool_osts"]).with_overrides(
+        max_stripe_count=cfg["stripe_cap"]
+    )
+    machine = spec.build(
+        n_ranks=cfg["n_procs"],
+        seed=seed,
+        extra_service_nodes=2,
+        metrics=registry,
+    )
+    install_production_noise(machine, live=True)
+    BackgroundWriterJob(
+        machine,
+        n_osts=min(8, cfg["pool_osts"]),
+        writers_per_ost=3,
+        write_size=1.0 * GB,
+    ).start()
+    transport = AdaptiveTransport(
+        n_osts_used=min(cfg["adaptive_osts"], cfg["n_procs"])
+    )
+    with profiling(machine) as prof:
+        result = transport.run(machine, gtc(), output_name="out")
+    return prof, result, registry
+
+
+@pytest.mark.benchmark(group="profile")
+def test_profiled_adaptive_cell(benchmark, scale, save_result):
+    cfg = _SCALES[scale.value]
+    prof, result, registry = benchmark.pedantic(
+        _profiled_cell, args=(cfg,), rounds=1, iterations=1
+    )
+    breakdown = prof.to_dict()
+
+    data = {
+        "scale": scale.value,
+        "app": "gtc",
+        "transport": "adaptive",
+        "condition": "interference",
+        "n_procs": cfg["n_procs"],
+        "pool_osts": cfg["pool_osts"],
+        "adaptive_osts": cfg["adaptive_osts"],
+        "reported_time": float(result.reported_time),
+        "aggregate_bandwidth": float(result.aggregate_bandwidth),
+        "n_instruments": len(registry),
+        "sections": {
+            name: {"seconds": s["seconds"], "calls": s["calls"]}
+            for name, s in breakdown["sections"].items()
+        },
+        "tracked_seconds": breakdown["tracked_seconds"],
+        "wall_seconds": breakdown["wall_seconds"],
+        "other_seconds": breakdown["other_seconds"],
+    }
+    prev_path = (
+        pathlib.Path(__file__).parent / "results" / "BENCH_profile.json"
+    )
+    if prev_path.exists():
+        prev = json.loads(prev_path.read_text()).get("data") or {}
+        prev.pop("previous", None)
+        data["previous"] = prev
+
+    text = (
+        f"Self-profile: gtc/adaptive/interference x{cfg['n_procs']} on "
+        f"{cfg['pool_osts']} OSTs ({scale.value})\n" + prof.report()
+    )
+    save_result("profile", text, data=data)
+
+    # Sanity: the profiler accounted for real time, and the simulated
+    # run actually did its job under instrumentation.
+    assert breakdown["wall_seconds"] > 0
+    assert breakdown["tracked_seconds"] > 0
+    assert breakdown["tracked_seconds"] <= breakdown["wall_seconds"] * 1.01
+    assert all(
+        s["seconds"] >= 0 for s in breakdown["sections"].values()
+    )
+    assert result.reported_time > 0
+    assert len(registry) > 0

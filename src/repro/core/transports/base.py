@@ -361,4 +361,31 @@ class Transport(abc.ABC):
                 fab.coalesced_count - snap[4]
             )
         result.validate()
+        # One-way recording into the telemetry registry: the registry
+        # observes the result, never feeds anything back into it, so a
+        # run with telemetry attached stays bit-identical to one
+        # without (the determinism test compares whole OutputResults).
+        reg = machine.metrics
+        if reg is not None:
+            t = result.transport
+            for phase in ("open", "write", "flush", "close"):
+                reg.histogram(
+                    "transport.phase_seconds", transport=t, phase=phase
+                ).observe(getattr(result, f"{phase}_time"))
+            reg.counter("transport.bytes", transport=t).inc(
+                result.total_bytes
+            )
+            reg.counter("transport.runs", transport=t).inc()
+            reg.counter("transport.adaptive_writes", transport=t).inc(
+                result.n_adaptive_writes
+            )
+            extra = result.extra
+            for key, metric in (
+                ("fault_retries", "transport.retries"),
+                ("fault_aborts", "transport.aborts"),
+                ("verify_failures", "transport.verify_failures"),
+            ):
+                v = extra.get(key)
+                if v:
+                    reg.counter(metric, transport=t).inc(float(v))
         return result

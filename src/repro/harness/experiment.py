@@ -9,6 +9,7 @@ from typing import Callable, List, TypeVar
 
 __all__ = [
     "Scale",
+    "metrics_to",
     "n_samples_override",
     "resolve_preset",
     "run_samples",
@@ -134,3 +135,29 @@ def trace_to(path: str, tracer=None):
             yield t
     finally:
         chrome.export(t.events, path)
+
+
+@contextmanager
+def metrics_to(path: str, registry=None):
+    """Collect telemetry from every machine built inside the block.
+
+    The registry twin of :func:`trace_to`: installs a
+    :class:`~repro.telemetry.MetricsRegistry` as the process-wide
+    active registry (every :meth:`MachineSpec.build` attaches it, and
+    :mod:`repro.harness.parallel` ships worker snapshots back into it)
+    and writes the JSON snapshot to *path* when the block finishes —
+    even on error.  Collection is non-perturbing: results are
+    bit-identical with or without it.
+
+    >>> with metrics_to("metrics.json"):     # doctest: +SKIP
+    ...     fig6.run("smoke")
+    """
+    from repro.telemetry import MetricsRegistry, collecting
+
+    reg = registry if registry is not None else MetricsRegistry()
+    try:
+        with collecting(reg):
+            yield reg
+    finally:
+        with open(path, "w") as fh:
+            fh.write(reg.to_json())

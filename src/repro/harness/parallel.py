@@ -29,6 +29,13 @@ parent absorbs them in sample order with
 fresh run index — the same multi-run prefixing the Chrome exporter
 already uses for serial sweeps.
 
+Telemetry mirrors tracing: when a process-wide metrics registry is
+active (see :func:`repro.harness.experiment.metrics_to`), each worker
+collects into a fresh registry and ships a snapshot back; the parent
+absorbs snapshots in sample order with
+:meth:`repro.telemetry.MetricsRegistry.absorb`, re-basing worker run
+indices so per-run series stay distinguishable.
+
 Functions submitted to the pool must be picklable (module-level
 functions or :func:`functools.partial` over them — not closures).  A
 non-picklable function falls back to serial execution with a
@@ -69,25 +76,45 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _invoke(fn: Callable[[T], U], arg: T, want_trace: bool):
-    """Worker-side wrapper: run one sample, optionally under a tracer.
+def _invoke(fn: Callable[[T], U], arg: T, want_trace: bool,
+            want_metrics: bool = False):
+    """Worker-side wrapper: run one sample, optionally instrumented.
 
-    Returns ``(result, events)`` where *events* is the worker tracer's
-    buffer (or None when tracing is off).  Runs in the pool worker; a
-    fork-started worker may have inherited the parent's active tracer,
-    whose events would be recorded into a lost copy — so the active
-    tracer is always overridden here, one way or the other.
+    Returns ``(result, events, metrics)`` where *events* is the worker
+    tracer's buffer and *metrics* a worker registry snapshot (either is
+    None when that instrumentation is off).  Runs in the pool worker; a
+    fork-started worker may have inherited the parent's active tracer
+    or registry, whose recordings would land in a lost copy — so both
+    are always overridden here, one way or the other.
     """
+    from repro.telemetry import MetricsRegistry, collecting
+    from repro.telemetry.registry import set_active_registry
     from repro.trace import Tracer, tracing
+    from repro.trace.tracer import set_active_tracer
 
+    if want_metrics:
+        reg = MetricsRegistry()
+        ctx = collecting(reg)
+    else:
+        reg = None
+        set_active_registry(None)
+        ctx = None
     if want_trace:
         t = Tracer()
         with tracing(t):
-            return fn(arg), t.events
-    from repro.trace.tracer import set_active_tracer
-
+            if ctx is not None:
+                with ctx:
+                    result = fn(arg)
+            else:
+                result = fn(arg)
+        return result, t.events, reg.snapshot() if reg else None
     set_active_tracer(None)
-    return fn(arg), None
+    if ctx is not None:
+        with ctx:
+            result = fn(arg)
+    else:
+        result = fn(arg)
+    return result, None, reg.snapshot() if reg else None
 
 
 def parallel_map(
@@ -103,6 +130,7 @@ def parallel_map(
     comprehension.  A non-picklable *fn* (closure, lambda, bound local)
     triggers a serial fallback with a ``RuntimeWarning``.
     """
+    from repro.telemetry.registry import get_active_registry
     from repro.trace.tracer import get_active_tracer
 
     n_jobs = resolve_jobs(jobs)
@@ -126,13 +154,20 @@ def parallel_map(
 
     tracer = get_active_tracer()
     want_trace = tracer is not None and tracer.enabled
+    registry = get_active_registry()
+    want_metrics = registry is not None and registry.enabled
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
-        futures = [pool.submit(_invoke, fn, x, want_trace) for x in items]
+        futures = [
+            pool.submit(_invoke, fn, x, want_trace, want_metrics)
+            for x in items
+        ]
         out: List[U] = []
         for fut in futures:  # submission order == item order
-            result, events = fut.result()
+            result, events, metrics = fut.result()
             if want_trace and events:
                 tracer.absorb(events)
+            if want_metrics and metrics is not None:
+                registry.absorb(metrics)
             out.append(result)
     return out
 

@@ -112,6 +112,18 @@ class FileSystem:
         self.corrupt_hook: Optional[
             Callable[[SimFile, List[StoredBlock]], None]
         ] = None
+        self.metrics = None  # wired by Machine.attach_metrics
+
+    def bind_metrics(self, registry) -> None:
+        """Attach (or detach, with None) a metrics registry."""
+        self.metrics = registry
+        if registry is None:
+            return
+        self._m_writes = registry.counter("fs.writes")
+        self._m_bytes_written = registry.counter("fs.bytes_written")
+        self._m_write_seconds = registry.histogram("fs.write_seconds")
+        self._m_flushes = registry.counter("fs.flushes")
+        self._m_flush_seconds = registry.histogram("fs.flush_seconds")
 
     # -- namespace ---------------------------------------------------------
     @property
@@ -336,6 +348,10 @@ class FileSystem:
             end_time=self.env.now,
             writer=writer,
         )
+        if self.metrics is not None:
+            self._m_writes.inc()
+            self._m_bytes_written.inc(float(nbytes))
+            self._m_write_seconds.observe(self.env.now - start)
         f.record_write(record, payload=payload)
         if blocks:
             stored = []
@@ -426,6 +442,9 @@ class FileSystem:
             )
             worst = float(deficit.max()) if deficit.size else 0.0
             if worst <= _FLUSH_EPS:
+                if self.metrics is not None:
+                    self._m_flushes.inc()
+                    self._m_flush_seconds.observe(self.env.now - start)
                 return self.env.now - start
             if deadline is not None and self.env.now >= deadline - 1e-9:
                 undelivered = float(np.clip(deficit, 0.0, None).sum())

@@ -225,6 +225,7 @@ class OstPool:
         self.faults_active = False
         self._on_change = None  # fabric.invalidate, wired by FileSystem
         self._tracer = None  # wired by Machine.attach_tracer
+        self._metrics = None  # wired by Machine.attach_metrics
         # Drain-rate memo: one fabric settle asks for the same counts'
         # drain rates up to three times (advance, capacities,
         # next_transition).  Keyed on the counts array object — the
@@ -242,6 +243,10 @@ class OstPool:
         """Attach a tracer; the pool stamps events with the ``now`` it
         receives from the fabric (it holds no environment reference)."""
         self._tracer = tracer
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a metrics registry; fault transitions become counters."""
+        self._metrics = registry
 
     def set_load_multiplier(
         self,
@@ -301,6 +306,10 @@ class OstPool:
         self.cache_level[i] = 0.0
         self._full[i] = False
         self._drain_memo = None
+        mi = self._metrics
+        if mi is not None:
+            mi.counter("ost.state_changes", to="failed", ost=i).inc()
+            mi.counter("ost.bytes_lost", ost=i).inc(lost)
         if self._on_change is not None:
             self._on_change()
         return lost
@@ -313,6 +322,9 @@ class OstPool:
         self.fault_mult[i] = 0.0
         self._ingest_gate[i] = 0.0
         self._drain_memo = None
+        mi = self._metrics
+        if mi is not None:
+            mi.counter("ost.state_changes", to="hung", ost=i).inc()
         if self._on_change is not None:
             self._on_change()
 
@@ -326,6 +338,9 @@ class OstPool:
         self.fault_mult[i] = float(factor)
         self._ingest_gate[i] = 1.0
         self._drain_memo = None
+        mi = self._metrics
+        if mi is not None:
+            mi.counter("ost.state_changes", to="degraded", ost=i).inc()
         if self._on_change is not None:
             self._on_change()
 
@@ -336,6 +351,9 @@ class OstPool:
         self.fault_mult[i] = 1.0
         self._ingest_gate[i] = 1.0
         self._drain_memo = None
+        mi = self._metrics
+        if mi is not None:
+            mi.counter("ost.state_changes", to="up", ost=i).inc()
         if self._on_change is not None:
             self._on_change()
 

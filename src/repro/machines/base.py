@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultInjector, FaultPlan
+    from repro.telemetry import MetricsRegistry, OnlineMonitor
     from repro.trace.tracer import Tracer
 
 from repro.errors import ConfigurationError
@@ -65,6 +66,7 @@ class MachineSpec:
         extra_service_nodes: int = 0,
         tracer: Optional["Tracer"] = None,
         faults: Optional["FaultPlan"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> "Machine":
         """Instantiate the machine for a job of ``n_ranks`` processes.
 
@@ -82,6 +84,11 @@ class MachineSpec:
         active plan (``repro.faults.with_faults``) or a plan file named
         by ``REPRO_FAULTS`` is used.  With no plan from any source,
         ``machine.faults`` is None and all fault machinery is off.
+
+        ``metrics`` attaches a telemetry registry (and a non-perturbing
+        settle-hook monitor feeding it); like ``tracer`` it falls back
+        to the process-wide active registry
+        (``repro.telemetry.collecting``) when omitted.
         """
         if n_ranks < 1:
             raise ConfigurationError("n_ranks must be >= 1")
@@ -143,6 +150,14 @@ class MachineSpec:
             tracer = env.tracer
         if tracer is not None:
             machine.attach_tracer(tracer)
+        if metrics is None:
+            from repro.telemetry import get_active_registry
+
+            metrics = get_active_registry()
+        if metrics is None:
+            metrics = env.metrics
+        if metrics is not None:
+            machine.attach_metrics(metrics)
         from repro.faults import FaultInjector, resolve_fault_plan
 
         plan = resolve_fault_plan(faults)
@@ -166,11 +181,33 @@ class Machine:
     service_node_base: int = 0
     n_service_nodes: int = 0
     faults: Optional["FaultInjector"] = None
+    metrics: Optional["MetricsRegistry"] = None
+    monitor: Optional["OnlineMonitor"] = None
 
     def attach_tracer(self, tracer: "Tracer") -> None:
         """Bind a tracer to every traced layer of this machine."""
         self.env.set_tracer(tracer)
         self.pool.bind_tracer(tracer)
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Bind a metrics registry to every instrumented layer.
+
+        Also installs a settle-hook :class:`OnlineMonitor` (with an
+        auto-sized straggler detector) so per-OST time series flow into
+        the registry without perturbing the simulation — telemetry
+        on/off is bit-identical by construction.
+        """
+        from repro.telemetry import OnlineMonitor
+
+        self.env.set_metrics(registry)
+        self.fs.fabric.bind_metrics(registry)
+        self.pool.bind_metrics(registry)
+        self.fs.bind_metrics(registry)
+        self.metrics = registry
+        self.monitor = OnlineMonitor(
+            self, registry=registry, detector="auto", mode="settle"
+        )
+        self.monitor.install()
 
     def service_node(self, i: int) -> int:
         """Source index of the i-th reserved interference node."""

@@ -7,6 +7,14 @@ used system logs for: with it you can *see* adaptive IO draining all
 targets together while MPI-IO leaves a straggler busy long after the
 rest idle.
 
+The sampling loop itself lives in
+:class:`repro.telemetry.OnlineMonitor` (timer mode) — one
+implementation shared with the ambient telemetry path — and the
+recorder keeps its historical contract on top: exact caller-owned
+cadence (each sample forces fabric accounting up to now, a deliberate,
+explicit perturbation), samples retained for the analysis methods
+below, and no decimation.
+
 Usage::
 
     rec = LoadRecorder(machine, interval=0.5)
@@ -18,66 +26,44 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
 
-from repro.sim.process import Interrupt
+from repro.telemetry.monitor import OnlineMonitor, PoolSample
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machines.base import Machine
 
 __all__ = ["LoadRecorder", "LoadSample"]
 
-
-@dataclass(frozen=True)
-class LoadSample:
-    """One snapshot of the storage system."""
-
-    time: float
-    stream_counts: np.ndarray  # active flows per OST
-    inflow: np.ndarray  # allocated bytes/s per OST
-    cache_fill: np.ndarray  # cache level / capacity per OST
+#: Sample record; the telemetry monitor's :class:`PoolSample` is a
+#: strict superset of the original ``LoadSample`` fields (``time``,
+#: ``stream_counts``, ``inflow``, ``cache_fill``), so the old name is
+#: kept as an alias.
+LoadSample = PoolSample
 
 
 class LoadRecorder:
     """Samples pool/fabric state every ``interval`` simulated seconds."""
 
     def __init__(self, machine: "Machine", interval: float = 1.0):
-        if interval <= 0:
-            raise ValueError("interval must be positive")
         self.machine = machine
-        self.interval = interval
-        self.samples: List[LoadSample] = []
-        self._running = False
-        self._proc = None
-        self._wake = None
+        self._monitor = OnlineMonitor(
+            machine,
+            interval=interval,
+            mode="timer",
+            keep_samples=True,
+            max_samples=None,
+        )
 
-    def _sampler(self):
-        env = self.machine.env
-        while self._running:
-            # Re-resolve fabric/pool every wakeup: the machine's file
-            # system may be swapped out mid-run (reconfiguration
-            # experiments) and sampling a stale fabric crashes.
-            fabric = self.machine.fs.fabric
-            pool = self.machine.pool
-            fabric.invalidate()  # bring accounting up to now
-            self.samples.append(
-                LoadSample(
-                    time=env.now,
-                    stream_counts=fabric.sink_stream_counts(),
-                    inflow=fabric.sink_inflow(),
-                    cache_fill=pool.cache_fill_fraction(),
-                )
-            )
-            self._wake = env.timeout(self.interval)
-            try:
-                yield self._wake
-            except Interrupt:
-                return
-            finally:
-                self._wake = None
+    @property
+    def interval(self) -> float:
+        return self._monitor.interval
+
+    @property
+    def samples(self) -> List[PoolSample]:
+        return self._monitor.samples
 
     def start(self) -> None:
         """Begin (or, after :meth:`stop`, resume) sampling.
@@ -85,12 +71,7 @@ class LoadRecorder:
         Each start opens a fresh sampling window; samples accumulate
         across windows.  Call :meth:`clear` first for a clean slate.
         """
-        if self._running:
-            raise RuntimeError("recorder already running")
-        self._running = True
-        self._proc = self.machine.env.process(
-            self._sampler(), name="load-recorder"
-        )
+        self._monitor.start()
 
     def stop(self) -> None:
         """Stop sampling and cancel the pending wakeup.
@@ -99,19 +80,11 @@ class LoadRecorder:
         holds no recorder event afterwards and no extra sample lands
         one interval later.
         """
-        if not self._running:
-            return
-        self._running = False
-        proc, self._proc = self._proc, None
-        wake, self._wake = self._wake, None
-        if proc is not None and proc.is_alive and proc.is_suspended:
-            proc.interrupt("recorder stopped")
-        if wake is not None and not wake.processed:
-            wake.cancel()  # drop the pending wakeup from the calendar
+        self._monitor.stop()
 
     def clear(self) -> None:
         """Drop all recorded samples (e.g. between windows)."""
-        self.samples.clear()
+        self._monitor.clear()
 
     # -- analysis ----------------------------------------------------------
     @property

@@ -478,6 +478,32 @@ class FlowNetwork:
         self.realloc_count = 0
         self.incremental_count = 0  # reallocs served by the patch path
         self.coalesced_count = 0  # mutations folded into a pending settle
+        # Post-settle observation hook: called as ``hook(now)`` at the
+        # end of every settle, when flow/pool state is already advanced
+        # to now.  Readers hanging here (OnlineMonitor) observe without
+        # scheduling events or forcing extra settles, so attaching one
+        # cannot perturb the simulation.  Hooks chain by saving and
+        # calling the previous value.
+        self.on_settle = None
+        # Optional MetricsRegistry; bind_metrics pre-resolves the
+        # fabric's instruments so the per-settle cost when attached is
+        # one attribute check plus a few dict-free increments.
+        self.metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach (or detach, with None) a metrics registry."""
+        self.metrics = registry
+        if registry is None:
+            return
+        self._m_settles = registry.counter("fabric.settles")
+        self._m_realloc_batch = registry.counter(
+            "fabric.reallocs", kind="batch"
+        )
+        self._m_realloc_incr = registry.counter(
+            "fabric.reallocs", kind="incremental"
+        )
+        self._m_coalesced = registry.counter("fabric.coalesced_settles")
+        self._m_flows = registry.gauge("fabric.active_flows")
 
     # -- public API ------------------------------------------------------
     @property
@@ -678,6 +704,8 @@ class FlowNetwork:
         """
         if self._settle_pending:
             self.coalesced_count += 1
+            if self.metrics is not None:
+                self._m_coalesced.inc()
             return
         self._settle_pending = True
         self._settle_event = self.env.schedule_callback(
@@ -767,6 +795,12 @@ class FlowNetwork:
                            values={"bytes_per_s": 0.0})
             t_pool = self.pool.next_transition(self._inflow, self._counts, now)
             self._arm_timer(t_pool)
+            if self.metrics is not None:
+                self._m_settles.inc()
+                self._m_flows.set(0)
+            hook = self.on_settle
+            if hook is not None:
+                hook(now)
             return
 
         dst = self._dst[act_slots]
@@ -806,6 +840,12 @@ class FlowNetwork:
         t_complete = float(finish.min()) if finish.size else np.inf
         t_pool = self.pool.next_transition(self._inflow, counts, now)
         self._arm_timer(min(t_complete, t_pool))
+        if self.metrics is not None:
+            self._m_settles.inc()
+            self._m_flows.set(int(act_slots.size))
+        hook = self.on_settle
+        if hook is not None:
+            hook(now)
 
     def _reallocate(
         self,
@@ -828,6 +868,7 @@ class FlowNetwork:
                 rates = self._incremental_rates(
                     act_slots, dst, counts, caps, dirty
                 )
+        incremental = rates is not None
         if rates is None:
             rates, share_dst = _max_min_shares(
                 self._src[act_slots], dst, self._cap_src, caps,
@@ -847,6 +888,9 @@ class FlowNetwork:
         self._alloc_gen = self._flowset_gen
         self._last_caps = caps.copy()
         self.realloc_count += 1
+        if self.metrics is not None:
+            (self._m_realloc_incr if incremental
+             else self._m_realloc_batch).inc()
         return rates
 
     def _incremental_rates(

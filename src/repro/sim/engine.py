@@ -80,6 +80,11 @@ class Environment:
         self.strict = strict
         self._crashed: Optional[SimulationError] = None
         self.tracer: Optional["Tracer"] = None
+        #: Optional MetricsRegistry / Profiler (telemetry package).
+        #: Plain nullable attributes, same cost model as ``tracer``:
+        #: instrumented layers pay one attribute check when off.
+        self.metrics = None
+        self.profiler = None
         if tracer is not None:
             self.set_tracer(tracer)
 
@@ -88,6 +93,23 @@ class Environment:
         self.tracer = tracer
         if tracer is not None:
             tracer.bind(self)
+
+    def set_metrics(self, registry) -> None:
+        """Attach (or detach, with None) a metrics registry."""
+        self.metrics = registry
+        if registry is not None:
+            registry.bind(self)
+
+    # -- introspection (sampled by telemetry, not updated per event) ------
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled — a monotone throughput counter."""
+        return self._seq
+
+    @property
+    def calendar_depth(self) -> int:
+        """Events currently pending (including cancelled tombstones)."""
+        return len(self._queue)
 
     # -- clock -----------------------------------------------------------
     @property

@@ -1,0 +1,294 @@
+"""Self-contained single-file HTML dashboard for one run's telemetry.
+
+Input is a :meth:`MetricsRegistry.snapshot` dict (plus, optionally, a
+:meth:`Profiler.to_dict` breakdown) — everything is rendered inline
+(CSS + SVG, no external assets, no JavaScript dependencies), so the
+output file can be attached to a ticket or opened from a cluster
+scratch directory as-is.
+
+Content:
+
+* summary tiles (runs, OSTs, settles, events, flagged stragglers);
+* an inline-SVG time-series of per-OST inflow with straggler OSTs
+  highlighted and first-flag annotations;
+* the matching per-OST cache-fill time-series;
+* the straggler table (first flag time per OST);
+* the self-profiler's subsystem flame table.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e;
+       background: #fafafa; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.tiles { display: flex; gap: 1rem; flex-wrap: wrap; }
+.tile { background: #fff; border: 1px solid #e0e0e8; border-radius: 8px;
+        padding: .8rem 1.2rem; min-width: 8rem; }
+.tile .v { font-size: 1.5rem; font-weight: 600; }
+.tile .k { font-size: .75rem; color: #667; text-transform: uppercase;
+           letter-spacing: .05em; }
+.tile.bad .v { color: #c0392b; }
+svg { background: #fff; border: 1px solid #e0e0e8; border-radius: 8px; }
+table { border-collapse: collapse; background: #fff; }
+th, td { border: 1px solid #e0e0e8; padding: .35rem .8rem;
+         font-size: .85rem; text-align: right; }
+th { background: #f0f0f5; }
+td:first-child, th:first-child { text-align: left; }
+.note { color: #667; font-size: .8rem; }
+"""
+
+_STRAGGLER = "#c0392b"
+_NORMAL = "#4878a8"
+
+
+def _series_by_ost(snapshot: dict, name: str, run: int
+                   ) -> Dict[int, List[Tuple[float, float]]]:
+    out: Dict[int, List[Tuple[float, float]]] = {}
+    for m in snapshot.get("metrics", ()):
+        if m["kind"] != "series" or m["name"] != name:
+            continue
+        ost = m.get("labels", {}).get("ost")
+        if ost is None:
+            continue
+        pts = [(t, v) for r, t, v in m["state"] if r == run]
+        if pts:
+            out[int(ost)] = pts
+    return out
+
+
+def _scalar_series(snapshot: dict, name: str, run: int
+                   ) -> List[Tuple[float, float]]:
+    for m in snapshot.get("metrics", ()):
+        if (m["kind"] == "series" and m["name"] == name
+                and not m.get("labels")):
+            return [(t, v) for r, t, v in m["state"] if r == run]
+    return []
+
+
+def _counter_total(snapshot: dict, name: str) -> Optional[float]:
+    total = None
+    for m in snapshot.get("metrics", ()):
+        if m["kind"] == "counter" and m["name"] == name:
+            total = (total or 0.0) + float(m["state"])
+    return total
+
+
+def _pick_run(snapshot: dict) -> int:
+    """The run with the most per-OST inflow samples (the main cell)."""
+    counts: Dict[int, int] = {}
+    for m in snapshot.get("metrics", ()):
+        if m["kind"] == "series" and m["name"] == "ost.inflow":
+            for r, _t, _v in m["state"]:
+                counts[r] = counts.get(r, 0) + 1
+    if not counts:
+        return 0
+    return max(counts.items(), key=lambda kv: kv[1])[0]
+
+
+def _flag_times(snapshot: dict, run: int) -> Dict[int, float]:
+    """First flag time per OST, from the persisted transition series."""
+    flags: Dict[int, float] = {}
+    for m in snapshot.get("metrics", ()):
+        if m["kind"] != "series" or m["name"] != "ost.straggler":
+            continue
+        ost = int(m.get("labels", {}).get("ost", -1))
+        for r, t, v in m["state"]:
+            if r == run and v >= 1.0 and ost not in flags:
+                flags[ost] = t
+    return flags
+
+
+def _svg_timeseries(
+    per_ost: Dict[int, List[Tuple[float, float]]],
+    flagged: Dict[int, float],
+    y_label: str,
+    y_scale: float = 1.0,
+    width: int = 1080,
+    height: int = 300,
+    max_normal: int = 64,
+) -> str:
+    if not per_ost:
+        return "<p class='note'>no samples recorded</p>"
+    pad_l, pad_r, pad_t, pad_b = 64, 16, 14, 30
+    all_pts = [p for pts in per_ost.values() for p in pts]
+    t0 = min(p[0] for p in all_pts)
+    t1 = max(p[0] for p in all_pts)
+    v1 = max(max(p[1] for p in all_pts) * y_scale, 1e-12)
+    span_t = max(t1 - t0, 1e-12)
+
+    def x(t: float) -> float:
+        return pad_l + (t - t0) / span_t * (width - pad_l - pad_r)
+
+    def y(v: float) -> float:
+        return height - pad_b - v / v1 * (height - pad_t - pad_b)
+
+    # Stragglers always drawn (on top); normal OSTs thinned if many.
+    normals = sorted(o for o in per_ost if o not in flagged)
+    if len(normals) > max_normal:
+        step = len(normals) / max_normal
+        normals = [normals[int(i * step)] for i in range(max_normal)]
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" xmlns="http://www.w3.org/2000/svg">'
+    ]
+    # Axes + labels.
+    parts.append(
+        f'<line x1="{pad_l}" y1="{height - pad_b}" x2="{width - pad_r}" '
+        f'y2="{height - pad_b}" stroke="#99a"/>'
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
+        f'y2="{height - pad_b}" stroke="#99a"/>'
+    )
+    for frac in (0.0, 0.5, 1.0):
+        tv = t0 + frac * span_t
+        vv = frac * v1
+        parts.append(
+            f'<text x="{x(tv):.1f}" y="{height - 8}" font-size="11" '
+            f'fill="#667" text-anchor="middle">{tv:.2f}s</text>'
+        )
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{y(vv) + 4:.1f}" font-size="11" '
+            f'fill="#667" text-anchor="end">{vv:.3g}</text>'
+        )
+    parts.append(
+        f'<text x="14" y="{height / 2:.0f}" font-size="11" fill="#445" '
+        f'transform="rotate(-90 14 {height / 2:.0f})" '
+        f'text-anchor="middle">{html.escape(y_label)}</text>'
+    )
+
+    def polyline(ost: int, color: str, opacity: float, w: float) -> str:
+        pts = " ".join(
+            f"{x(t):.1f},{y(v * y_scale):.1f}" for t, v in per_ost[ost]
+        )
+        return (
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{w}" stroke-opacity="{opacity}">'
+            f"<title>ost {ost}</title></polyline>"
+        )
+
+    for ost in normals:
+        parts.append(polyline(ost, _NORMAL, 0.35, 1.0))
+    for ost in sorted(flagged):
+        if ost in per_ost:
+            parts.append(polyline(ost, _STRAGGLER, 0.9, 1.6))
+    # First-flag annotations: dashed vertical line + OST label.
+    for ost, t in sorted(flagged.items(), key=lambda kv: kv[1]):
+        parts.append(
+            f'<line x1="{x(t):.1f}" y1="{pad_t}" x2="{x(t):.1f}" '
+            f'y2="{height - pad_b}" stroke="{_STRAGGLER}" '
+            f'stroke-dasharray="4 3" stroke-opacity="0.6"/>'
+            f'<text x="{x(t) + 3:.1f}" y="{pad_t + 10}" font-size="10" '
+            f'fill="{_STRAGGLER}">ost {ost}</text>'
+        )
+    parts.append("</svg>")
+    note = ""
+    if len(per_ost) > len(normals) + len(flagged):
+        note = (
+            f"<p class='note'>showing {len(normals)} of "
+            f"{len(per_ost) - len(flagged)} unflagged OSTs "
+            f"(plus all {len(flagged)} flagged)</p>"
+        )
+    return "".join(parts) + note
+
+
+def _profile_table(profile: dict) -> str:
+    sections = profile.get("sections", {})
+    total = profile.get("wall_seconds", profile.get("tracked_seconds", 0.0))
+    total = total or 1e-12
+    rows = sorted(sections.items(), key=lambda kv: -kv[1]["seconds"])
+    body = []
+    for name, s in rows:
+        share = 100.0 * s["seconds"] / total
+        bar = (
+            f'<div style="background:{_NORMAL};height:10px;'
+            f'width:{max(share, 0.5):.1f}%"></div>'
+        )
+        body.append(
+            f"<tr><td>{html.escape(name)}</td>"
+            f"<td>{s['seconds']:.3f}</td><td>{s['calls']}</td>"
+            f"<td>{share:.1f}%</td><td style='min-width:14rem;"
+            f"text-align:left'>{bar}</td></tr>"
+        )
+    if "other_seconds" in profile:
+        share = 100.0 * profile["other_seconds"] / total
+        body.append(
+            f"<tr><td>other</td><td>{profile['other_seconds']:.3f}</td>"
+            f"<td>-</td><td>{share:.1f}%</td><td></td></tr>"
+        )
+    return (
+        "<table><tr><th>subsystem</th><th>seconds</th><th>calls</th>"
+        "<th>share</th><th></th></tr>" + "".join(body) + "</table>"
+        + (f"<p class='note'>total wall: {total:.3f}s</p>"
+           if "wall_seconds" in profile else "")
+    )
+
+
+def render_dashboard(
+    snapshot: dict,
+    profile: Optional[dict] = None,
+    title: str = "repro run telemetry",
+) -> str:
+    """Render the snapshot (and optional profile) as a full HTML page."""
+    run = _pick_run(snapshot)
+    inflow = _series_by_ost(snapshot, "ost.inflow", run)
+    cache = _series_by_ost(snapshot, "ost.cache_fill", run)
+    flagged = _flag_times(snapshot, run)
+    n_runs = int(snapshot.get("n_runs", 0)) or 1
+    settles = _counter_total(snapshot, "fabric.settles")
+    events = _scalar_series(snapshot, "sim.events", run)
+
+    tiles = [
+        ("runs in snapshot", str(n_runs), ""),
+        ("OSTs sampled", str(len(inflow)), ""),
+        (
+            "stragglers flagged",
+            str(len(flagged)),
+            " bad" if flagged else "",
+        ),
+    ]
+    if settles is not None:
+        tiles.append(("fabric settles", f"{int(settles)}", ""))
+    if events:
+        tiles.append(("calendar events", f"{int(events[-1][1])}", ""))
+    tile_html = "".join(
+        f"<div class='tile{cls}'><div class='v'>{v}</div>"
+        f"<div class='k'>{k}</div></div>"
+        for k, v, cls in tiles
+    )
+
+    straggler_rows = "".join(
+        f"<tr><td>ost {ost}</td><td>{t:.3f}s</td></tr>"
+        for ost, t in sorted(flagged.items(), key=lambda kv: kv[1])
+    )
+    straggler_html = (
+        "<table><tr><th>target</th><th>first flagged at</th></tr>"
+        + straggler_rows + "</table>"
+        if flagged
+        else "<p class='note'>no stragglers flagged</p>"
+    )
+
+    sections = [
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='note'>showing run {run} of {n_runs}</p>",
+        f"<div class='tiles'>{tile_html}</div>",
+        "<h2>Per-OST inflow</h2>",
+        _svg_timeseries(inflow, flagged, "inflow (MB/s)", y_scale=1e-6),
+        "<h2>Per-OST cache fill</h2>",
+        _svg_timeseries(cache, flagged, "cache fill (fraction)"),
+        "<h2>Stragglers</h2>",
+        straggler_html,
+    ]
+    if profile:
+        sections += ["<h2>Self-profile (wall-clock)</h2>",
+                     _profile_table(profile)]
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>"
+        "<body>" + "".join(sections) + "</body></html>"
+    )

@@ -1,0 +1,226 @@
+"""Wall-clock self-profiler: where does the *simulator's* time go?
+
+ROADMAP item 5 observed that the adaptive transport at 8192 procs
+costs 7.3s of real time against MPI-IO's 1.4s and asked for a
+breakdown.  This profiler attributes real (``perf_counter``) time to
+simulator subsystems:
+
+==============  ======================================================
+``engine``      the calendar loop itself (heap pops, dispatch)
+``fabric.settle``  flow-network settles: max-min reallocation, pool
+                integration, completion bookkeeping
+``protocol``    simulation-process bodies — transport protocol code
+                (writers, sub-coordinators, steering), interference
+                generators, background jobs
+``tracer``      trace-event recording, when a tracer is attached
+``other``       real time outside ``env.run`` (index assembly, result
+                construction, harness code) — total minus the above
+==============  ======================================================
+
+Attribution is exclusive (stack-based): settle time spent inside a
+process step counts as ``fabric.settle``, not ``protocol``.
+
+Cost model: profiling is **opt-in per run**.  While no profiler is
+installed anywhere in the process, ``Process._step`` and the tracer
+record methods are their original, unpatched functions — zero cost.
+:meth:`Profiler.install` class-patches them (reference-counted;
+restored on the last :meth:`uninstall`) with wrappers that resolve
+the owning environment's ``env.profiler`` attribute, so concurrent
+unprofiled environments in the same process still skip in one
+attribute check.  ``env.run`` and ``fabric._settle`` are wrapped as
+per-instance attributes — no other environment even sees them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machines.base import Machine
+
+__all__ = ["Profiler", "profiling"]
+
+SECTIONS = ("engine", "fabric.settle", "protocol", "tracer")
+
+
+class Profiler:
+    """Accumulates exclusive wall-clock time per subsystem."""
+
+    def __init__(self):
+        self.self_time: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.wall_total: Optional[float] = None
+        self._stack: List[list] = []  # [name, t0, child_time]
+        self._machines: List["Machine"] = []
+
+    # -- core accounting -------------------------------------------------
+    def push(self, name: str) -> None:
+        self._stack.append([name, perf_counter(), 0.0])
+
+    def pop(self) -> None:
+        name, t0, child = self._stack.pop()
+        dt = perf_counter() - t0
+        self.self_time[name] = self.self_time.get(name, 0.0) + dt - child
+        self.calls[name] = self.calls.get(name, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += dt
+
+    @contextmanager
+    def section(self, name: str):
+        self.push(name)
+        try:
+            yield
+        finally:
+            self.pop()
+
+    # -- wiring ----------------------------------------------------------
+    def install(self, machine: "Machine") -> None:
+        """Attach to a machine's environment, fabric and tracer."""
+        env = machine.env
+        if env.profiler is not None:
+            raise RuntimeError("environment already has a profiler")
+        env.profiler = self
+        env.run = _wrapped(env.run, self, "engine")
+        fabric = machine.fs.fabric
+        fabric._settle = _wrapped(fabric._settle, self, "fabric.settle")
+        _patch_classes()
+        self._machines.append(machine)
+
+    def uninstall(self, machine: "Machine") -> None:
+        if machine not in self._machines:
+            return
+        self._machines.remove(machine)
+        env = machine.env
+        env.profiler = None
+        env.__dict__.pop("run", None)  # restore the class method
+        machine.fs.fabric.__dict__.pop("_settle", None)
+        _unpatch_classes()
+
+    # -- reporting -------------------------------------------------------
+    def to_dict(self) -> dict:
+        sections = {}
+        for name in sorted(set(SECTIONS) | set(self.self_time)):
+            sections[name] = {
+                "seconds": float(self.self_time.get(name, 0.0)),
+                "calls": int(self.calls.get(name, 0)),
+            }
+        tracked = sum(self.self_time.values())
+        out = {"sections": sections, "tracked_seconds": float(tracked)}
+        if self.wall_total is not None:
+            out["wall_seconds"] = float(self.wall_total)
+            out["other_seconds"] = float(max(self.wall_total - tracked, 0.0))
+        return out
+
+    def report(self) -> str:
+        """Flame-table text rendering, widest section first."""
+        d = self.to_dict()
+        total = d.get("wall_seconds", d["tracked_seconds"]) or 1e-12
+        rows = sorted(
+            d["sections"].items(), key=lambda kv: -kv[1]["seconds"]
+        )
+        lines = [f"{'subsystem':<14} {'seconds':>9} {'calls':>10} {'share':>7}"]
+        lines.append("-" * len(lines[0]))
+        for name, s in rows:
+            lines.append(
+                f"{name:<14} {s['seconds']:>9.3f} {s['calls']:>10d} "
+                f"{100.0 * s['seconds'] / total:>6.1f}%"
+            )
+        if "other_seconds" in d:
+            lines.append(
+                f"{'other':<14} {d['other_seconds']:>9.3f} {'-':>10} "
+                f"{100.0 * d['other_seconds'] / total:>6.1f}%"
+            )
+            lines.append(f"{'total':<14} {d['wall_seconds']:>9.3f}")
+        return "\n".join(lines)
+
+
+def _wrapped(bound_method, prof: Profiler, name: str):
+    def timed(*args, **kwargs):
+        prof.push(name)
+        try:
+            return bound_method(*args, **kwargs)
+        finally:
+            prof.pop()
+
+    return timed
+
+
+# -- class patches (refcounted; zero cost while not installed) ------------
+_patch_depth = 0
+_saved = {}
+
+
+def _patch_classes() -> None:
+    global _patch_depth
+    _patch_depth += 1
+    if _patch_depth > 1:
+        return
+    from repro.sim.process import Process
+    from repro.trace.tracer import Tracer
+
+    _saved["step"] = orig_step = Process._step
+
+    def profiled_step(self, send=None, throw=None):
+        prof = self.env.profiler
+        if prof is None:
+            return orig_step(self, send, throw)
+        prof.push("protocol")
+        try:
+            return orig_step(self, send, throw)
+        finally:
+            prof.pop()
+
+    Process._step = profiled_step
+
+    for meth in ("begin", "end", "complete", "instant", "counter"):
+        _saved[meth] = _make_traced(Tracer, meth)
+
+
+def _make_traced(cls, meth: str):
+    orig = getattr(cls, meth)
+
+    def profiled(self, *args, **kwargs):
+        env = self._env
+        prof = env.profiler if env is not None else None
+        if prof is None:
+            return orig(self, *args, **kwargs)
+        prof.push("tracer")
+        try:
+            return orig(self, *args, **kwargs)
+        finally:
+            prof.pop()
+
+    setattr(cls, meth, profiled)
+    return orig
+
+
+def _unpatch_classes() -> None:
+    global _patch_depth
+    _patch_depth -= 1
+    if _patch_depth > 0:
+        return
+    from repro.sim.process import Process
+    from repro.trace.tracer import Tracer
+
+    Process._step = _saved.pop("step")
+    for meth in ("begin", "end", "complete", "instant", "counter"):
+        setattr(Tracer, meth, _saved.pop(meth))
+
+
+@contextmanager
+def profiling(machine: "Machine", profiler: Optional[Profiler] = None):
+    """Profile everything the machine simulates inside the block.
+
+    Measures total wall time across the block so the report can show
+    the ``other`` (outside-``env.run``) share.
+    """
+    prof = profiler if profiler is not None else Profiler()
+    prof.install(machine)
+    t0 = perf_counter()
+    try:
+        yield prof
+    finally:
+        prof.wall_total = (prof.wall_total or 0.0) + perf_counter() - t0
+        prof.uninstall(machine)

@@ -1,0 +1,173 @@
+"""CLI: aggregate benchmark results into one perf-trajectory table.
+
+Every benchmark run saves ``benchmarks/results/BENCH_<name>.json``
+with its machine-readable numbers under ``data`` and, when the
+benchmark re-runs, the prior numbers under ``data.previous``.  This
+tool collects the whole directory into a single view of where
+performance moved: each scalar metric, its current value, its previous
+value, and the ratio.
+
+Usage::
+
+    python -m repro.tools.bench_report
+    python -m repro.tools.bench_report --only kernel --only scale
+    python -m repro.tools.bench_report --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+__all__ = ["main", "collect", "render_markdown"]
+
+DEFAULT_RESULTS = pathlib.Path("benchmarks") / "results"
+
+
+def _flatten(data: dict, prefix: str = "") -> Dict[str, float]:
+    """Scalar numeric leaves with dotted keys; 'previous' excluded."""
+    out: Dict[str, float] = {}
+    for key, value in data.items():
+        if key == "previous":
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+        elif isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{name}."))
+    return out
+
+
+def collect(results_dir: pathlib.Path,
+            only: Optional[List[str]] = None) -> List[dict]:
+    """One record per benchmark: name + per-metric current/previous."""
+    records = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        if only and name not in only:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            records.append({"name": name, "error": str(exc), "metrics": []})
+            continue
+        data = payload.get("data") or {}
+        if not isinstance(data, dict):
+            records.append({"name": name, "metrics": []})
+            continue
+        current = _flatten(data)
+        prev_raw = data.get("previous")
+        previous = _flatten(prev_raw) if isinstance(prev_raw, dict) else {}
+        metrics = []
+        for key in sorted(current):
+            cur = current[key]
+            prev = previous.get(key)
+            ratio = (
+                cur / prev
+                if prev is not None and prev != 0
+                else None
+            )
+            metrics.append(
+                {
+                    "metric": key,
+                    "current": cur,
+                    "previous": prev,
+                    "ratio": ratio,
+                }
+            )
+        records.append({"name": name, "metrics": metrics})
+    return records
+
+
+def _fmt(v: Optional[float]) -> str:
+    if v is None:
+        return "-"
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e6 or abs(v) < 1e-3:
+        return f"{v:.3g}"
+    if v == int(v):
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def render_markdown(records: List[dict], changed_only: bool = False) -> str:
+    """One markdown table covering every benchmark's metrics."""
+    lines = [
+        "| benchmark | metric | current | previous | ratio |",
+        "|---|---|---:|---:|---:|",
+    ]
+    n_rows = 0
+    for rec in records:
+        if rec.get("error"):
+            lines.append(
+                f"| {rec['name']} | (unreadable: {rec['error']}) "
+                "| - | - | - |"
+            )
+            continue
+        for m in rec["metrics"]:
+            if changed_only and m["previous"] is None:
+                continue
+            ratio = (
+                f"{m['ratio']:.2f}x" if m["ratio"] is not None else "-"
+            )
+            lines.append(
+                f"| {rec['name']} | {m['metric']} | {_fmt(m['current'])} "
+                f"| {_fmt(m['previous'])} | {ratio} |"
+            )
+            n_rows += 1
+    if n_rows == 0 and len(lines) == 2:
+        return "(no benchmark results found)"
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench_report",
+        description="Aggregate benchmarks/results/BENCH_*.json into one "
+        "perf-trajectory table (current vs previous per metric).",
+    )
+    parser.add_argument(
+        "--results", metavar="DIR", default=str(DEFAULT_RESULTS),
+        help=f"results directory (default: {DEFAULT_RESULTS})",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME", default=None,
+        help="restrict to this benchmark (repeatable); names as in "
+        "BENCH_<name>.json",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="only rows that have a previous value to compare against",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the aggregation as JSON",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    results_dir = pathlib.Path(args.results)
+    if not results_dir.is_dir():
+        print(f"results directory not found: {results_dir}",
+              file=sys.stderr)
+        return 1
+    records = collect(results_dir, only=args.only)
+    print(render_markdown(records, changed_only=args.changed_only))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"results_dir": str(results_dir),
+                       "benchmarks": records}, fh, indent=2)
+        print(f"\n[json -> {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

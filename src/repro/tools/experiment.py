@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         "run (open in Perfetto; summarize with repro.tools.trace)",
     )
     parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export a telemetry JSON snapshot of every simulation run "
+        "(per-OST time series, fabric/transport counters, straggler "
+        "flags; render with repro.tools.monitor --dashboard).  "
+        "Collection is non-perturbing: results are bit-identical "
+        "with or without it",
+    )
+    parser.add_argument(
         "--faults", metavar="PATH", default=None,
         help="inject faults from a FaultPlan JSON into every "
         "simulation run (equivalent to setting REPRO_FAULTS; the "
@@ -149,14 +157,25 @@ def main(argv=None) -> int:
             print(f"\n[{name} @ {args.scale}, seed {args.seed}: "
                   f"{elapsed:.1f}s wall]\n")
 
-    if args.trace:
-        from repro.harness.experiment import trace_to
+    from contextlib import ExitStack
 
-        with trace_to(args.trace) as tracer:
-            run_all()
-        print(f"[trace: {len(tracer.events)} events -> {args.trace}]")
-    else:
+    with ExitStack() as stack:
+        tracer = None
+        registry = None
+        if args.trace:
+            from repro.harness.experiment import trace_to
+
+            tracer = stack.enter_context(trace_to(args.trace))
+        if args.metrics:
+            from repro.harness.experiment import metrics_to
+
+            registry = stack.enter_context(metrics_to(args.metrics))
         run_all()
+    if tracer is not None:
+        print(f"[trace: {len(tracer.events)} events -> {args.trace}]")
+    if registry is not None:
+        print(f"[metrics: {len(registry)} instruments over "
+              f"{registry.n_runs} run(s) -> {args.metrics}]")
     return 0
 
 

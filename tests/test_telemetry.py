@@ -1,0 +1,547 @@
+"""The telemetry subsystem: registry, straggler detector, monitor,
+profiler, dashboard, CLIs.
+
+The headline validation is the straggler ground-truth cell: a
+background job hammers a known minority of OSTs while an adaptive
+transport writes a real app's output, and the online detector must
+flag exactly the interfered set — no misses, no false alarms.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import AppKernel, Variable
+from repro.core.transports import AdaptiveTransport
+from repro.machines import jaguar
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    OnlineMonitor,
+    Profiler,
+    StragglerDetector,
+    collecting,
+    get_active_registry,
+    profiling,
+    render_dashboard,
+)
+from repro.units import MB
+
+
+def small_app(mb=2.0):
+    return AppKernel(
+        "telemetered", [Variable("x", shape=(int(mb * MB / 8),))]
+    )
+
+
+# -- registry -------------------------------------------------------------
+class TestInstruments:
+    def test_counter_gauge_histogram_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.count")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        g = reg.gauge("a.level")
+        g.set(1.0)
+        g.set(-2.0)
+        assert g.value == -2.0
+        h = reg.histogram("a.lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        assert h.count == 3 and h.sum == 55.5
+        s = reg.series("a.ts")
+        s.sample(0.0, 1.0)
+        s.sample(1.0, 2.0)
+        assert s.last == 2.0
+        assert len(reg) == 4
+
+    def test_labels_make_distinct_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("ost.writes", ost=0).inc()
+        reg.counter("ost.writes", ost=1).inc(5)
+        # Same name+labels returns the same instrument.
+        assert reg.counter("ost.writes", ost=0) is reg.counter(
+            "ost.writes", ost=0
+        )
+        assert reg.find("counter", "ost.writes", ost=1).value == 5.0
+        assert reg.find("counter", "ost.writes", ost=7) is None
+        assert len(reg.instruments("ost.writes")) == 2
+
+    def test_series_stamped_with_run_index(self):
+        reg = MetricsRegistry()
+
+        class _Env:  # stand-in: bind() only identity-checks it
+            pass
+
+        reg.bind(_Env())
+        s = reg.series("ts")
+        s.sample(0.5, 1.0)
+        reg.bind(_Env())  # new environment -> new run
+        s.sample(0.1, 2.0)
+        assert s.samples == [(0, 0.5, 1.0), (1, 0.1, 2.0)]
+        assert reg.n_runs == 2
+
+    def test_disabled_registry_hands_out_noop_instruments(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        c.inc(100)
+        reg.series("y").sample(0.0, 1.0)
+        reg.histogram("z").observe(3.0)
+        assert c.value == 0.0
+        assert len(reg) == 0
+        assert reg.snapshot()["metrics"] == []
+        # NULL_REGISTRY is the shared canonical instance of the same.
+        assert NULL_REGISTRY.enabled is False
+        NULL_REGISTRY.counter("x").inc()
+        assert len(NULL_REGISTRY) == 0
+
+
+class TestSnapshotAbsorb:
+    def _worker_snapshot(self, n_runs=1, count=3.0):
+        reg = MetricsRegistry()
+        reg._n_binds = n_runs
+        reg.counter("fabric.settles").inc(count)
+        reg.gauge("fabric.active_flows").set(7.0)
+        h = reg.histogram("t.phase", buckets=(1.0, 10.0), phase="write")
+        h.observe(0.5)
+        s = reg.series("ost.inflow", ost=0)
+        s.sample(0.25, 9.0)
+        return reg.snapshot()
+
+    def test_snapshot_round_trips_through_json(self):
+        snap = self._worker_snapshot()
+        loaded = json.loads(json.dumps(snap))
+        reg = MetricsRegistry()
+        reg.absorb(loaded)
+        assert reg.find("counter", "fabric.settles").value == 3.0
+        assert reg.find(
+            "histogram", "t.phase", phase="write"
+        ).count == 1
+
+    def test_absorb_adds_counters_and_rebases_series_runs(self):
+        reg = MetricsRegistry()
+        reg._n_binds = 2  # two local runs already recorded
+        reg.counter("fabric.settles").inc(10)
+        reg.absorb(self._worker_snapshot(n_runs=1, count=3.0))
+        reg.absorb(self._worker_snapshot(n_runs=2, count=4.0))
+        assert reg.find("counter", "fabric.settles").value == 17.0
+        s = reg.find("series", "ost.inflow", ost=0)
+        # Worker run 0 lands after the local runs: 2, then 3 (the
+        # second worker's base skips the first worker's 1 run... which
+        # claimed indices 2; second absorb starts at 3).
+        assert [r for r, _, _ in s.samples] == [2, 3]
+        assert reg._n_binds == 5  # 2 local + 1 + 2
+        assert reg.n_runs == 5
+
+    def test_disabled_registry_ignores_absorb(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.absorb(self._worker_snapshot())
+        assert len(reg) == 0
+
+
+class TestPrometheus:
+    def test_exposition_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("fabric.settles").inc(3)
+        reg.counter("transport.bytes", transport="adaptive").inc(1e9)
+        reg.histogram("t.phase", buckets=(1.0, 10.0)).observe(0.5)
+        reg.gauge("flows").set(4)
+        s = reg.series("ost.inflow", ost=3)
+        s.sample(0.0, 5.0)
+        s.sample(1.0, 6.5)
+        text = reg.to_prometheus()
+        assert "repro_fabric_settles_total 3" in text
+        assert 'transport="adaptive"' in text
+        saw_sample = False
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            assert math.isfinite(float(value))
+            saw_sample = True
+        assert saw_sample
+        # Histogram triplet with the +Inf bucket.
+        assert 'le="+Inf"' in text
+        assert "repro_t_phase_sum" in text
+        assert "repro_t_phase_count 1" in text
+        # Series exports its latest value.
+        assert "6.5" in text
+
+
+class TestActiveRegistry:
+    def test_collecting_scopes_the_active_registry(self):
+        assert get_active_registry() is None
+        with collecting() as reg:
+            assert get_active_registry() is reg
+            with collecting(NULL_REGISTRY):
+                assert get_active_registry() is NULL_REGISTRY
+            assert get_active_registry() is reg
+        assert get_active_registry() is None
+
+    def test_machine_build_attaches_active_registry(self):
+        with collecting() as reg:
+            m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        assert m.metrics is reg
+        assert m.monitor is not None
+        assert m.env.metrics is reg
+        # Outside the scope, builds are bare again.
+        m2 = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        assert m2.metrics is None and m2.monitor is None
+        assert m2.env.metrics is None
+
+
+# -- straggler detector ---------------------------------------------------
+class TestStragglerDetector:
+    def _feed(self, det, rates, n, t0=0.0, dt=1.0):
+        rates = np.asarray(rates, dtype=float)
+        active = np.ones(len(rates), dtype=bool)
+        for k in range(n):
+            det.update(t0 + k * dt, rates, active)
+
+    def test_slow_minority_flagged_fast_majority_not(self):
+        det = StragglerDetector(8)
+        rates = [10.0] + [100.0] * 7
+        self._feed(det, rates, 5)
+        assert det.stragglers() == {0}
+        assert det.is_straggler(0) and not det.is_straggler(1)
+        assert det.ever_flagged() == {0}
+        assert det.first_flag_time[0] == 2.0  # 3rd sample: min_samples
+        assert det.zscores()[0] < -det.z_threshold
+        summary = det.summary()
+        assert summary["flagged"] == [0]
+        assert summary["first_flag_time"] == {"0": 2.0}
+
+    def test_uniform_pool_never_flags(self):
+        det = StragglerDetector(8)
+        # Tiny jitter around a common rate: the MAD floor and deficit
+        # guard must keep noise-level variation unflagged.
+        rates = 100.0 + 0.001 * np.arange(8)
+        self._feed(det, rates, 10)
+        assert det.stragglers() == set()
+        assert det.ever_flagged() == set()
+
+    def test_recovery_unflags_and_records_transition(self):
+        det = StragglerDetector(8)
+        self._feed(det, [10.0] + [100.0] * 7, 5)
+        assert det.stragglers() == {0}
+        # OST 0 comes back: its EWMA climbs past the deficit bound.
+        self._feed(det, [100.0] * 8, 10, t0=10.0)
+        assert det.stragglers() == set()
+        assert det.ever_flagged() == {0}  # history survives recovery
+        flags = [(ost, up) for _, ost, up in det.transitions]
+        assert flags == [(0, True), (0, False)]
+
+    def test_idle_osts_are_not_judged(self):
+        det = StragglerDetector(8)
+        rates = np.array([0.0, 0.0] + [100.0] * 6)
+        active = rates > 0
+        for k in range(5):
+            det.update(float(k), rates, active)
+        # 0 and 1 are unused, not slow.
+        assert det.stragglers() == set()
+        assert det.n_updates[0] == 0
+
+    def test_needs_three_judged_osts(self):
+        det = StragglerDetector(2)
+        self._feed(det, [1.0, 100.0], 10)
+        assert det.stragglers() == set()  # 2 judged < 3: no baseline
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StragglerDetector(0)
+        with pytest.raises(ValueError):
+            StragglerDetector(4, alpha=0.0)
+        with pytest.raises(ValueError):
+            StragglerDetector(4, z_threshold=-1.0)
+        with pytest.raises(ValueError):
+            StragglerDetector(4, deficit=1.5)
+        det = StragglerDetector(4)
+        with pytest.raises(ValueError):
+            det.update(0.0, np.zeros(3), np.zeros(3, dtype=bool))
+
+
+# -- monitor --------------------------------------------------------------
+class TestOnlineMonitor:
+    def _machine(self, registry=None):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        return m, OnlineMonitor(
+            m, registry=registry, interval=1.0,
+            keep_samples=True, max_samples=4,
+        )
+
+    def test_validation(self):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        with pytest.raises(ValueError):
+            OnlineMonitor(m, interval=0.0)
+        with pytest.raises(ValueError):
+            OnlineMonitor(m, mode="polling")
+        with pytest.raises(ValueError):
+            OnlineMonitor(m, max_samples=1)
+        mon = OnlineMonitor(m)
+        with pytest.raises(RuntimeError):
+            mon.start()  # settle-mode monitors install(), not start()
+        timer = OnlineMonitor(m, mode="timer")
+        with pytest.raises(RuntimeError):
+            timer.install()
+
+    def test_doubling_decimation_bounds_samples(self):
+        reg = MetricsRegistry()
+        m, mon = self._machine(registry=reg)
+        reg.bind(m.env)
+        for k in range(32):
+            mon._record(float(k), settle=True)
+        # The interval doubled (a whole number of times) and the
+        # stored timeline stayed within the budget.
+        assert mon.interval > 1.0
+        assert math.log2(mon.interval).is_integer()
+        assert len(mon.samples) <= 4
+        series = reg.find("series", "ost.inflow", ost=0)
+        assert len(series.samples) <= 4
+        # Decimation keeps a strictly increasing timeline.
+        times = [s.time for s in mon.samples]
+        assert times == sorted(times)
+
+    def test_decimation_only_thins_current_run(self):
+        reg = MetricsRegistry()
+        m, mon = self._machine(registry=reg)
+        reg.bind(m.env)
+        s = reg.series("ost.inflow", ost=0)
+        s.samples.append((99, 0.0, 1.0))  # a prior run's sample
+        for k in range(8):
+            mon._record(float(k), settle=True)
+        assert (99, 0.0, 1.0) in s.samples
+
+    def test_settle_mode_records_ambiently_during_run(self):
+        reg = MetricsRegistry()
+        with collecting(reg):
+            m = jaguar(n_osts=4).build(n_ranks=8, seed=0)
+        # A run long enough to cross several sampling intervals.
+        AdaptiveTransport(n_osts_used=4).run(
+            m, small_app(mb=16.0), output_name="out"
+        )
+        s = reg.find("series", "ost.inflow", ost=0)
+        assert s is not None and len(s.samples) > 1
+        assert reg.find("counter", "fabric.settles").value > 0
+        assert reg.find("counter", "fs.writes").value > 0
+        assert reg.find(
+            "counter", "transport.runs", transport="adaptive"
+        ).value == 1.0
+        h = reg.find(
+            "histogram", "transport.phase_seconds",
+            transport="adaptive", phase="write",
+        )
+        assert h is not None and h.count > 0
+        ev = reg.find("series", "sim.events")
+        assert ev.last > 0
+
+
+# -- profiler -------------------------------------------------------------
+class TestProfiler:
+    def test_sections_and_exclusive_attribution(self):
+        prof = Profiler()
+        with prof.section("engine"):
+            with prof.section("fabric.settle"):
+                pass
+        d = prof.to_dict()
+        assert d["sections"]["engine"]["calls"] == 1
+        assert d["sections"]["fabric.settle"]["calls"] == 1
+        # Exclusive: parent self-time excludes the child's span.
+        total = sum(s["seconds"] for s in d["sections"].values())
+        assert d["tracked_seconds"] == pytest.approx(total)
+
+    def test_profiled_run_attributes_time(self):
+        from repro.sim.process import Process
+
+        orig_step = Process._step
+        m = jaguar(n_osts=4).build(n_ranks=8, seed=0)
+        with profiling(m) as prof:
+            assert Process._step is not orig_step
+            AdaptiveTransport(n_osts_used=4).run(
+                m, small_app(), output_name="out"
+            )
+        d = prof.to_dict()
+        assert d["sections"]["engine"]["seconds"] > 0
+        assert d["sections"]["protocol"]["seconds"] > 0
+        assert d["sections"]["fabric.settle"]["calls"] > 0
+        assert d["wall_seconds"] >= d["tracked_seconds"] * 0.99
+        report = prof.report()
+        assert "protocol" in report and "total" in report
+        # Patches are refcounted away: the class is pristine again.
+        assert Process._step is orig_step
+        assert m.env.profiler is None
+
+    def test_double_install_rejected(self):
+        m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+        prof = Profiler()
+        prof.install(m)
+        try:
+            with pytest.raises(RuntimeError):
+                Profiler().install(m)
+        finally:
+            prof.uninstall(m)
+
+
+# -- ground truth: the detector against a known interference plan ---------
+@pytest.fixture(scope="module")
+def demo_cell():
+    from repro.tools.monitor import run_demo_cell
+
+    return run_demo_cell(profile=True)
+
+
+class TestGroundTruth:
+    def test_detector_flags_exactly_the_interfered_osts(self, demo_cell):
+        _reg, detector, ground_truth, _prof = demo_cell
+        assert detector is not None
+        assert detector.ever_flagged() == set(ground_truth)
+
+    def test_flag_transitions_persisted_to_registry(self, demo_cell):
+        reg, detector, ground_truth, _prof = demo_cell
+        flagged_series = {
+            int(inst.labels[0][1])
+            for inst in reg.instruments("ost.straggler")
+            if any(v == 1.0 for _, _, v in inst.samples)
+        }
+        assert flagged_series == set(ground_truth)
+
+    def test_demo_profile_has_breakdown(self, demo_cell):
+        _reg, _det, _gt, prof = demo_cell
+        assert prof["sections"]["protocol"]["seconds"] > 0
+        assert prof["wall_seconds"] > 0
+
+    def test_majority_interference_rejected(self):
+        from repro.tools.monitor import run_demo_cell
+
+        with pytest.raises(SystemExit):
+            run_demo_cell(pool_osts=8, interfere_osts=5)
+
+
+# -- dashboard ------------------------------------------------------------
+class TestDashboard:
+    def test_renders_timelines_and_straggler_flags(self, demo_cell):
+        reg, _det, ground_truth, prof = demo_cell
+        html = render_dashboard(
+            reg.snapshot(), profile=prof, title="cell under test"
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert "cell under test" in html
+        assert "<svg" in html and "polyline" in html
+        assert "straggler" in html.lower()
+        for ost in ground_truth:
+            assert f"<td>ost {ost}</td>" in html  # straggler table row
+        # Self-profile table made it in.
+        assert "fabric.settle" in html
+
+    def test_renders_empty_snapshot(self):
+        html = render_dashboard({"version": 1, "n_runs": 0, "metrics": []})
+        assert "<html" in html  # degrades gracefully, no crash
+
+
+# -- CLIs -----------------------------------------------------------------
+class TestMonitorCli:
+    def test_live_cell_writes_all_artifacts(self, tmp_path, capsys):
+        from repro.tools.monitor import main
+
+        dash = tmp_path / "dash.html"
+        mjson = tmp_path / "metrics.json"
+        prom = tmp_path / "metrics.prom"
+        rc = main([
+            "--app", "xgc1", "--procs", "32", "--pool-osts", "12",
+            "--interfere-osts", "0", "--seed", "1",
+            "--dashboard", str(dash), "--json", str(mjson),
+            "--prometheus", str(prom),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stragglers flagged" in out
+        assert "<svg" in dash.read_text()
+        snap = json.loads(mjson.read_text())
+        assert snap["metrics"]
+        assert any(
+            line and not line.startswith("#")
+            for line in prom.read_text().splitlines()
+        )
+
+    def test_from_json_renders_dashboard(self, tmp_path, capsys):
+        from repro.tools.monitor import main
+
+        mjson = tmp_path / "metrics.json"
+        main([
+            "--app", "xgc1", "--procs", "16", "--pool-osts", "8",
+            "--interfere-osts", "0", "--json", str(mjson),
+        ])
+        capsys.readouterr()
+        dash = tmp_path / "replay.html"
+        assert main(["--from-json", str(mjson),
+                     "--dashboard", str(dash)]) == 0
+        assert "<svg" in dash.read_text()
+        # Prometheus needs a live registry; snapshots are refused.
+        with pytest.raises(SystemExit):
+            main(["--from-json", str(mjson),
+                  "--prometheus", str(tmp_path / "x.prom")])
+
+
+class TestBenchReport:
+    def _write(self, path, name, data):
+        path.joinpath(f"BENCH_{name}.json").write_text(
+            json.dumps({"name": name, "text": "t", "data": data})
+        )
+
+    def test_collects_and_compares_against_previous(self, tmp_path):
+        from repro.tools.bench_report import collect, render_markdown
+
+        self._write(tmp_path, "kernel", {
+            "events_per_sec": 200.0,
+            "wall": {"events": 0.5},
+            "previous": {"events_per_sec": 100.0, "wall": {"events": 1.0}},
+        })
+        self._write(tmp_path, "fresh", {"metric": 7})
+        records = collect(tmp_path)
+        assert [r["name"] for r in records] == ["fresh", "kernel"]
+        kernel = records[1]
+        by_name = {m["metric"]: m for m in kernel["metrics"]}
+        assert by_name["events_per_sec"]["ratio"] == 2.0
+        assert by_name["wall.events"]["ratio"] == 0.5
+        md = render_markdown(records)
+        assert "| kernel | events_per_sec | 200 | 100 | 2.00x |" in md
+        assert "| fresh | metric | 7 | - | - |" in md
+        changed = render_markdown(records, changed_only=True)
+        assert "fresh" not in changed
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        from repro.tools.bench_report import main
+
+        self._write(tmp_path, "a", {"x": 1.0})
+        out_json = tmp_path / "report.json"
+        rc = main(["--results", str(tmp_path), "--json", str(out_json)])
+        assert rc == 0
+        assert "| a | x | 1 |" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["benchmarks"][0]["name"] == "a"
+
+    def test_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        from repro.tools.bench_report import main
+
+        assert main(["--results", str(tmp_path / "nope")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestExperimentMetricsFlag:
+    def test_metrics_to_writes_snapshot(self, tmp_path):
+        from repro.harness.experiment import metrics_to
+
+        path = tmp_path / "m.json"
+        with metrics_to(str(path)) as reg:
+            m = jaguar(n_osts=4).build(n_ranks=4, seed=0)
+            AdaptiveTransport(n_osts_used=4).run(
+                m, small_app(), output_name="out"
+            )
+        assert m.metrics is reg
+        snap = json.loads(path.read_text())
+        names = {x["name"] for x in snap["metrics"]}
+        assert "fabric.settles" in names and "ost.inflow" in names

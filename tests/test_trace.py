@@ -268,6 +268,84 @@ class TestCli:
         assert "span nesting: OK" in out
 
 
+class TestReportEdgeCases:
+    @staticmethod
+    def _span(tr, name, t0, t1, tid="rank 0", pid="node/0", args=None):
+        tr.begin(name, cat="writer", pid=pid, tid=tid, ts=t0, args=args)
+        tr.end(name, cat="writer", pid=pid, tid=tid, ts=t1)
+
+    def test_empty_events_render_placeholder(self):
+        assert per_writer_counters([]) == []
+        assert render_report([]) == (
+            "no writer-phase spans in trace (was tracing enabled?)"
+        )
+
+    def test_trace_without_writer_spans_renders_placeholder(self):
+        """Instants and non-writer categories alone produce no
+        counters — the report must say so, not crash on max()."""
+        tr = Tracer()
+        tr.instant("ost.failstop", cat="fault", pid="p", tid="t")
+        with tr.span("settle", cat="fabric", pid="p", tid="t"):
+            pass
+        counters = per_writer_counters(tr.events)
+        assert counters == []
+        assert "was tracing enabled?" in render_report(counters)
+
+    def test_zero_byte_writer_renders_0_b(self):
+        """A writer whose write span moved no data must render '0 B'
+        (not divide by zero or print an empty cell), and its bandwidth
+        is inf by convention when write time is zero too."""
+        tr = Tracer()
+        self._span(tr, "write", 0.0, 1.0, args={"nbytes": 0.0})
+        counters = per_writer_counters(tr.events)
+        assert len(counters) == 1
+        wc = counters[0]
+        assert wc.bytes_written == 0.0
+        assert wc.bandwidth == 0.0  # 0 bytes / 1s
+        report = render_report(counters)
+        assert "0 B" in report
+        # Zero write *time* with zero bytes: bandwidth is inf by the
+        # t<=0 convention, and the report still renders.
+        tr2 = Tracer()
+        self._span(tr2, "write", 2.0, 2.0, tid="rank 1",
+                   args={"nbytes": 0.0})
+        wc2 = per_writer_counters(tr2.events)[0]
+        assert wc2.bandwidth == float("inf")
+        assert "0 B" in render_report([wc2])
+
+    def test_integrity_columns_only_when_detections_present(self):
+        tr = Tracer()
+        self._span(tr, "write", 0.0, 1.0, args={"nbytes": 1e6})
+        tr.instant("write.verify_fail", cat="integrity",
+                   pid="node/0", tid="rank 0", ts=1.0)
+        tr.instant("scrub.detect", cat="integrity",
+                   pid="node/0", tid="rank 0", ts=1.5)
+        tr.instant("block.repair", cat="integrity",
+                   pid="node/0", tid="rank 0", ts=2.0)
+        counters = per_writer_counters(tr.events)
+        wc = counters[0]
+        assert wc.corrupt_detected == 2 and wc.repaired == 1
+        report = render_report(counters)
+        assert "2 corrupt block(s) detected" in report
+        assert "1 repaired" in report
+        assert " det" in report and " rep" in report
+        # The clean report carries no integrity columns at all.
+        tr2 = Tracer()
+        self._span(tr2, "write", 0.0, 1.0, args={"nbytes": 1e6})
+        clean = render_report(per_writer_counters(tr2.events))
+        assert "det" not in clean and "corrupt" not in clean
+
+    def test_repair_without_detection_still_shows_columns(self):
+        """repaired>0 alone (detection attributed to another writer's
+        trace, say) must still switch the integrity columns on."""
+        tr = Tracer()
+        self._span(tr, "write", 0.0, 1.0, args={"nbytes": 1e6})
+        tr.instant("block.repair", cat="integrity",
+                   pid="node/0", tid="rank 0", ts=2.0)
+        report = render_report(per_writer_counters(tr.events))
+        assert "0 corrupt block(s) detected, 1 repaired" in report
+
+
 class TestAbortedRunTraces:
     def test_close_open_spans_closes_in_nesting_order(self):
         tr = Tracer()
