@@ -9,18 +9,22 @@ transport protocol code, tracer overhead, everything else.
 
 This is the number that tells you *what to optimise next*.  The large
 preset is the full-machine acceptance cell: 8192 processes writing to
-the 672-OST Jaguar pool.  Results land in
+the 672-OST Jaguar pool.  An uninstrumented MPI-IO run of the same
+cell rides along as the static-transport wall-clock baseline, so the
+report always shows what the adaptive protocol's simulation costs
+*relative to* the dumb transport.  Results land in
 ``benchmarks/results/BENCH_profile.json`` with the previously committed
 breakdown carried under ``"previous"``.
 """
 
 import json
 import pathlib
+import time
 
 import pytest
 
 from repro.apps.gtc import gtc
-from repro.core.transports import AdaptiveTransport
+from repro.core.transports import AdaptiveTransport, MpiIoTransport
 from repro.interference import BackgroundWriterJob, install_production_noise
 from repro.machines import jaguar
 from repro.telemetry import MetricsRegistry, profiling
@@ -37,6 +41,9 @@ _SCALES = {
                   n_procs=8192),
     "paper": dict(pool_osts=672, adaptive_osts=512, stripe_cap=160,
                   n_procs=8192),
+    # Mirrors the appbench exa preset — only tractable batched.
+    "exa": dict(pool_osts=5000, adaptive_osts=4096, stripe_cap=160,
+                n_procs=65536),
 }
 
 
@@ -66,11 +73,38 @@ def _profiled_cell(cfg, seed=0):
     return prof, result, registry
 
 
+def _static_cell(cfg, seed=0):
+    """Same cell, MPI-IO transport, no instrumentation: the baseline."""
+    spec = jaguar(n_osts=cfg["pool_osts"]).with_overrides(
+        max_stripe_count=cfg["stripe_cap"]
+    )
+    machine = spec.build(
+        n_ranks=cfg["n_procs"], seed=seed, extra_service_nodes=2
+    )
+    install_production_noise(machine, live=True)
+    BackgroundWriterJob(
+        machine,
+        n_osts=min(8, cfg["pool_osts"]),
+        writers_per_ost=3,
+        write_size=1.0 * GB,
+    ).start()
+    transport = MpiIoTransport(build_index=False)
+    t0 = time.perf_counter()
+    result = transport.run(machine, gtc(), output_name="out")
+    return {
+        "wall_seconds": time.perf_counter() - t0,
+        "reported_time": float(result.reported_time),
+        "aggregate_bandwidth": float(result.aggregate_bandwidth),
+    }
+
+
 @pytest.mark.benchmark(group="profile")
 def test_profiled_adaptive_cell(benchmark, scale, save_result):
     cfg = _SCALES[scale.value]
-    prof, result, registry = benchmark.pedantic(
-        _profiled_cell, args=(cfg,), rounds=1, iterations=1
+    (prof, result, registry), static = benchmark.pedantic(
+        lambda: (_profiled_cell(cfg), _static_cell(cfg)),
+        rounds=1,
+        iterations=1,
     )
     breakdown = prof.to_dict()
 
@@ -92,6 +126,7 @@ def test_profiled_adaptive_cell(benchmark, scale, save_result):
         "tracked_seconds": breakdown["tracked_seconds"],
         "wall_seconds": breakdown["wall_seconds"],
         "other_seconds": breakdown["other_seconds"],
+        "mpiio_baseline": static,
     }
     prev_path = (
         pathlib.Path(__file__).parent / "results" / "BENCH_profile.json"
@@ -104,6 +139,8 @@ def test_profiled_adaptive_cell(benchmark, scale, save_result):
     text = (
         f"Self-profile: gtc/adaptive/interference x{cfg['n_procs']} on "
         f"{cfg['pool_osts']} OSTs ({scale.value})\n" + prof.report()
+        + f"\nmpiio baseline {static['wall_seconds']:9.3f}s wall "
+        f"(static transport, uninstrumented)"
     )
     save_result("profile", text, data=data)
 
@@ -117,3 +154,5 @@ def test_profiled_adaptive_cell(benchmark, scale, save_result):
     )
     assert result.reported_time > 0
     assert len(registry) > 0
+    assert static["wall_seconds"] > 0
+    assert static["aggregate_bandwidth"] > 0

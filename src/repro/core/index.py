@@ -107,13 +107,16 @@ class IndexEntry:
     def __post_init__(self):
         if self.offset < 0 or self.nbytes < 0:
             raise ValueError("offset and nbytes must be non-negative")
-
-    @property
-    def serialized_bytes(self) -> float:
         extra = _CHAR_BYTES if self.characteristics is not None else 0.0
         if self.checksum is not None:
             extra += _CKSUM_BYTES
-        return _ENTRY_HEADER_BYTES + len(self.var) + extra
+        object.__setattr__(
+            self, "_serialized", _ENTRY_HEADER_BYTES + len(self.var) + extra
+        )
+
+    @property
+    def serialized_bytes(self) -> float:
+        return self._serialized
 
 
 class LocalIndex:

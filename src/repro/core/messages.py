@@ -29,6 +29,7 @@ __all__ = [
     "ScRelocated",
     "Heartbeat",
     "WriterRelease",
+    "CoordBatch",
 ]
 
 TAG_WRITER = 10  # messages addressed to a rank's writer role
@@ -180,3 +181,19 @@ class Heartbeat:
 @dataclass(frozen=True)
 class WriterRelease:
     """SC/C -> writer: shut down your service loop (fault mode only)."""
+
+
+@dataclass(frozen=True)
+class CoordBatch:
+    """SC -> C: several same-instant control messages in one envelope.
+
+    The batched (cohort) protocol accumulates every coordinator-bound
+    64-byte control payload a single synchronous handler burst emits
+    (e.g. a steered write's WriteComplete relay plus the ScComplete it
+    unlocks) and ships them as one message.  The coordinator unwraps
+    ``payloads`` in order through the same dispatch path as loose
+    messages, so steering decisions are unchanged — only the number of
+    simulated sends differs.
+    """
+
+    payloads: tuple  # tuple of coordinator-bound message dataclasses

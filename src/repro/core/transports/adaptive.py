@@ -38,6 +38,7 @@ from repro.core.messages import (
     TAG_SC,
     TAG_WRITER,
     AdaptiveWriteStart,
+    CoordBatch,
     Heartbeat,
     IndexBody,
     OverallWriteComplete,
@@ -60,6 +61,7 @@ from repro.errors import (
 )
 from repro.mpi.comm import SimComm
 from repro.sim.events import AllSettled
+from repro.sim.process import Mailbox
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
@@ -68,6 +70,291 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["AdaptiveTransport"]
 
 _WRITING, _BUSY, _COMPLETE = "writing", "busy", "complete"
+
+# Boundary slack when recovering member boundaries from flow progress:
+# a timer may land within float rounding of the exact byte crossing.
+_BOUNDARY_TOL = 1e-3  # bytes
+
+
+class _GroupStream:
+    """One group's serialized member pipeline on its OST.
+
+    Both protocol modes (batched cohorts and the per-rank reference)
+    drive group-local data movement through this helper, so their
+    fabric interaction — and therefore every timestamp — is
+    float-identical.  Instead of one simulated process and one fabric
+    flow per member write, the stream models the group's one-at-a-time
+    schedule as a **single aggregate flow** whose bytes are the
+    members' segments back to back.  Member boundaries are recovered
+    with pure :meth:`~repro.net.fabric.FlowNetwork.flow_progress`
+    queries: one armed calendar timer for the *next* boundary, re-armed
+    by a rate watcher whenever interference changes the drain rate.
+    The final member is completed by the flow's own completion event,
+    so its end time carries no timer rounding.
+
+    This is the "pre-signaled pipelined gapless" timing model (see
+    DESIGN.md §13): every member is signaled its slot in the plan at
+    files-ready, builds its index once, and the group's OST never
+    idles between members — exactly the steady state of the per-write
+    protocol, without its per-write event traffic.  Steering steals
+    pop not-yet-started members off the tail and truncate the
+    aggregate flow by one segment, riding the fabric's
+    skip-reallocation fast path.
+
+    With ``writers_per_target > 1`` the stream instead runs that many
+    independent single-member *lanes* (one flow each, handing off to
+    the next member at each completion); boundaries then need no
+    timers at all.
+
+    Completion bookkeeping is centralized here: OST-span trace and
+    stored-block registration (via
+    :meth:`~repro.lustre.filesystem.FileSystem.record_aggregated_write`),
+    the writer's wait/index/write trace spans, its
+    :class:`~repro.core.transports.base.WriterTiming`, and finally a
+    ``notify(rank, outcome)`` callback the owning protocol uses to
+    send (or synchronously account) the completion messages.  Outcomes
+    are ``("done", t_start, t_end, offset)`` for members written
+    locally and ``("stolen", target_group, offset)`` for members
+    steered away.
+    """
+
+    __slots__ = (
+        "env", "fs", "f", "ost", "g", "src_node", "nbytes", "t_open",
+        "hop", "build", "machine", "app", "timings", "tracer", "traced",
+        "notify", "pending", "finished", "_done", "_seg_start", "_fid",
+        "_timer", "_lanes", "_next_lane", "_lane_start",
+    )
+
+    def __init__(
+        self,
+        env,
+        fs,
+        f,
+        ost: int,
+        g: int,
+        src_node: int,
+        members,
+        nbytes: float,
+        t_open: float,
+        hop: float,
+        build: float,
+        machine,
+        app,
+        timings,
+        notify,
+        lanes: int = 1,
+    ):
+        self.env = env
+        self.fs = fs
+        self.f = f
+        self.ost = ost
+        self.g = g
+        self.src_node = src_node
+        self.nbytes = float(nbytes)
+        self.t_open = t_open  # files-ready instant (T0)
+        self.hop = hop  # one 64-byte control-message hop
+        self.build = build  # per-writer index build time
+        self.machine = machine
+        self.app = app
+        self.timings = timings
+        tracer = env.tracer
+        self.tracer = tracer
+        self.traced = tracer is not None and tracer.enabled
+        self.notify = notify
+        self.pending = list(members)  # members writing locally, in order
+        self.finished = False
+        self._done = 0  # members completed (index of the one in progress)
+        self._seg_start = t_open
+        self._fid = None  # aggregate flow id (lanes == 1)
+        self._timer = None  # armed next-boundary timer
+        self._lanes = lanes
+        self._next_lane = 0  # next member index to get a lane (lanes > 1)
+        self._lane_start = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def begin(self) -> None:
+        """Start the group's data movement (armed at T0 + hop + build)."""
+        self._seg_start = self.env.now
+        if not self.pending:
+            self.finished = True
+            return
+        if self._lanes > 1:
+            self._next_lane = min(self._lanes, len(self.pending))
+            for k in range(self._next_lane):
+                self._start_lane(k)
+            return
+        total = len(self.pending) * self.nbytes
+        ev, fid = self.fs.fabric.start_flow_with_id(
+            self.src_node, self.ost, total
+        )
+        self._fid = fid
+        ev.add_callback(self._on_flow_done)
+        self.fs.fabric.watch_flow(fid, self._on_rate_change)
+        self._arm_next()
+
+    # -- steering ----------------------------------------------------------
+    @property
+    def has_stealable(self) -> bool:
+        """A tail member exists that has not started writing locally."""
+        if self.finished:
+            return False
+        if self._lanes > 1:
+            return len(self.pending) > self._next_lane
+        return len(self.pending) - 1 > self._done
+
+    def truncate_tail(self, target: int, offset: float) -> int:
+        """Steal the tail member for a steered write; returns its rank.
+
+        The aggregate flow loses one segment's bytes off its
+        undelivered tail (rate unchanged — the fabric's deferred
+        settle rides the skip-reallocation fast path).
+        """
+        rank = self.pending.pop()
+        if self._lanes <= 1 and self._fid is not None:
+            try:
+                self.fs.fabric.adjust_flow_bytes(self._fid, -self.nbytes)
+            except KeyError:  # pragma: no cover - defensive
+                pass
+            if (
+                self._timer is not None
+                and len(self.pending) - 1 <= self._done
+            ):
+                # The in-progress member became the last: its end is
+                # now the flow's completion, not a boundary timer.
+                if not self._timer.processed:
+                    self._timer.cancel()
+                self._timer = None
+        self.notify(rank, ("stolen", target, offset))
+        return rank
+
+    @property
+    def final_offset(self) -> float:
+        """The sub-file's data tail: one segment per local member."""
+        return len(self.pending) * self.nbytes
+
+    # -- aggregate-flow boundary recovery (lanes == 1) ---------------------
+    def _arm_next(self) -> None:
+        fabric = self.fs.fabric
+        while True:
+            nxt = self._done + 1
+            if nxt >= len(self.pending):
+                self._timer = None
+                return  # the flow's completion event drives the last member
+            try:
+                delivered, rate = fabric.flow_progress(self._fid)
+            except KeyError:  # flow finished; _on_flow_done sweeps up
+                self._timer = None
+                return
+            target = nxt * self.nbytes
+            if delivered + _BOUNDARY_TOL >= target:
+                self._finish_segment(self.env.now)
+                continue
+            if rate <= 0.0:
+                self._timer = None  # starved; watcher re-arms on recovery
+                return
+            self._timer = self.env.schedule_callback(
+                (target - delivered) / rate, self._on_timer
+            )
+            return
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._arm_next()
+
+    def _on_rate_change(self, _now: float, _rate: float) -> None:
+        if self.finished:
+            return
+        if self._timer is not None:
+            if not self._timer.processed:
+                self._timer.cancel()
+            self._timer = None
+        self._arm_next()
+
+    def _on_flow_done(self, ev) -> None:
+        if not ev.ok:  # pragma: no cover - clean path never faults
+            return
+        if self._timer is not None and not self._timer.processed:
+            self._timer.cancel()
+        self._timer = None
+        while self._done < len(self.pending):
+            self._finish_segment(self.env.now)
+        self.finished = True
+
+    def _finish_segment(self, t_end: float) -> None:
+        rank = self.pending[self._done]
+        self._complete_member(rank, self._done, self._seg_start, t_end)
+        self._done += 1
+        self._seg_start = t_end
+
+    # -- lane mode (writers_per_target > 1) --------------------------------
+    def _start_lane(self, k: int) -> None:
+        rank = self.pending[k]
+        self._lane_start[k] = self.env.now
+        ev = self.fs.fabric.start_flow(
+            self.machine.node_of(rank), self.ost, self.nbytes
+        )
+        ev.add_callback(lambda _ev, _k=k: self._on_lane_done(_k))
+
+    def _on_lane_done(self, k: int) -> None:
+        rank = self.pending[k]
+        self._complete_member(rank, k, self._lane_start.pop(k), self.env.now)
+        self._done += 1
+        if self._next_lane < len(self.pending):
+            nxt = self._next_lane
+            self._next_lane += 1
+            self._start_lane(nxt)
+        elif self._done == len(self.pending):
+            self.finished = True
+
+    # -- member completion -------------------------------------------------
+    def _complete_member(
+        self, rank: int, idx: int, t_start: float, t_end: float
+    ) -> None:
+        offset = idx * self.nbytes
+        node = self.machine.node_of(rank)
+        self.fs.record_aggregated_write(
+            self.f,
+            node,
+            offset,
+            self.nbytes,
+            t_start,
+            t_end,
+            writer=rank,
+            blocks=self.app.data_blocks(rank, offset),
+        )
+        if self.traced:
+            tr = self.tracer
+            wpid, wtid = f"node/{node}", f"rank {rank}"
+            t0 = self.t_open
+            tr.begin("wait", cat="writer", pid=wpid, tid=wtid, ts=t0)
+            tr.end(
+                "wait", cat="writer", pid=wpid, tid=wtid, ts=t0 + self.hop,
+                args={"target_group": self.g, "adaptive": False},
+            )
+            if self.build:
+                tr.begin(
+                    "index", cat="writer", pid=wpid, tid=wtid,
+                    ts=t0 + self.hop,
+                )
+                tr.end(
+                    "index", cat="writer", pid=wpid, tid=wtid,
+                    ts=t0 + self.hop + self.build,
+                )
+            tr.begin(
+                "write", cat="writer", pid=wpid, tid=wtid, ts=t_start,
+                args={"nbytes": float(self.nbytes), "target_group": self.g,
+                      "offset": float(offset), "adaptive": False},
+            )
+            tr.end("write", cat="writer", pid=wpid, tid=wtid, ts=t_end)
+        self.timings[rank] = WriterTiming(
+            rank=rank,
+            start=t_start,
+            end=t_end,
+            nbytes=self.nbytes,
+            target_group=self.g,
+            adaptive=False,
+        )
+        self.notify(rank, ("done", t_start, t_end, offset))
 
 
 class AdaptiveTransport(Transport):
@@ -89,6 +376,18 @@ class AdaptiveTransport(Transport):
         implements 1 and notes 2-3 as a possible generalization).
     index_build_time:
         CPU seconds a writer spends building its local index.
+    batched:
+        When True (the default) the clean-path protocol runs one
+        *cohort* process per sub-coordinator instead of one process
+        per writer, folds the per-write control messages into
+        same-instant batches (:class:`~repro.core.messages.CoordBatch`)
+        and rides one aggregate fabric flow per group — simulator cost
+        scales with groups and OSTs rather than writers and writes.
+        ``batched=False`` keeps one process and one message per writer
+        (the unbatched reference); both modes share
+        :class:`_GroupStream` timing and produce identical results,
+        which ``tests/test_adaptive_batched.py`` asserts.  Fault-plan
+        runs always use the per-rank fault protocol regardless.
     """
 
     name = "adaptive"
@@ -99,6 +398,7 @@ class AdaptiveTransport(Transport):
         steering: bool = True,
         writers_per_target: int = 1,
         index_build_time: float = 2.0e-4,
+        batched: bool = True,
     ):
         if writers_per_target < 1:
             raise ValueError("writers_per_target must be >= 1")
@@ -108,6 +408,7 @@ class AdaptiveTransport(Transport):
         self.steering = steering
         self.writers_per_target = writers_per_target
         self.index_build_time = index_build_time
+        self.batched = batched
 
     def _make_group_map(self, n_ranks: int, n_groups: int):
         """Writer partition; subclasses may weight it (history-aware)."""
@@ -151,6 +452,13 @@ class AdaptiveTransport(Transport):
         index_nbytes = float(
             sum(e.serialized_bytes for e in app.index_entries(0, 0.0))
         )
+        # Control-plane flight times, shared by both modes so batched
+        # bookkeeping reproduces the reference's arrival arithmetic
+        # bit-for-bit: `hop` is one 64-byte control message, `idx_hop`
+        # an index body (which can be *shorter* than a control hop).
+        hop = machine.spec.latency.point_to_point(64.0)
+        idx_hop = machine.spec.latency.point_to_point(index_nbytes)
+        build = self.index_build_time
 
         tracer = env.tracer
         traced = tracer is not None and tracer.enabled
@@ -163,43 +471,83 @@ class AdaptiveTransport(Transport):
         phase: Dict[str, float] = {}
         global_index = GlobalIndex()
         global_index_path = f"/{output_name}.bp.dir/index.bp"
+        # Reference mode parks one writer process per rank on its
+        # member event; the batched mode has no per-rank processes.
+        member_ev = (
+            None if self.batched else [env.event() for _ in range(n_ranks)]
+        )
 
-        # ---------------- Writer role (Algorithm 1) -----------------------
-        def writer_proc(rank: int, files_ready):
-            yield files_ready
-            g = group_of[rank]
+        # -- shared trace/steered-write helpers ----------------------------
+        def _emit_plan_instants(g: int, members) -> None:
+            """The group's write plan, announced at files-ready (T0)."""
+            if not traced:
+                return
+            for k, w in enumerate(members):
+                tracer.instant(
+                    "WRITE_START", cat="steer", pid="adaptive",
+                    tid=f"sc {g}",
+                    args={"writer": w, "target_group": g,
+                          "offset": float(k * nbytes)},
+                )
+
+        def _emit_steal_instant(g, w, target, offset) -> None:
+            if traced:
+                tracer.instant(
+                    "WRITE_START", cat="steer", pid="adaptive",
+                    tid=f"sc {g}",
+                    args={"writer": w, "target_group": target,
+                          "offset": float(offset), "adaptive": True},
+                )
+
+        def _emit_busy_instant(g, target) -> None:
+            if traced:
+                tracer.instant(
+                    "WRITERS_BUSY", cat="steer", pid="adaptive",
+                    tid=f"sc {g}", args={"target_group": target},
+                )
+
+        def _steered_write(rank: int, g: int, target: int, offset: float):
+            """Index build + data movement of one steered write.
+
+            Entered at the steal signal's arrival (t_steal + hop);
+            yields through the index build and the real per-writer
+            ``fs.write``, then returns the WriteComplete to route.
+            Both modes run steered writes through here, so their
+            trace spans, timing and fabric flows are identical.
+            """
             node = machine.node_of(rank)
             wpid, wtid = f"node/{node}", f"rank {rank}"
+            t_sig = env.now
+            if build:
+                yield env.timeout(build)
             if traced:
-                tracer.begin("wait", cat="writer", pid=wpid, tid=wtid)
-            msg = yield comm.recv(rank, tag=TAG_WRITER)  # (target, offset)
-            ws: WriteStart = msg.payload
-            if traced:
-                tracer.end("wait", cat="writer", pid=wpid, tid=wtid,
-                           args={"target_group": ws.target_group,
-                                 "adaptive": ws.adaptive})
-            if self.index_build_time:
-                if traced:
-                    tracer.begin("index", cat="writer", pid=wpid, tid=wtid)
-                yield env.timeout(self.index_build_time)  # build local index
-                if traced:
+                tracer.begin(
+                    "wait", cat="writer", pid=wpid, tid=wtid,
+                    ts=phase["open_end"],
+                )
+                tracer.end(
+                    "wait", cat="writer", pid=wpid, tid=wtid, ts=t_sig,
+                    args={"target_group": target, "adaptive": True},
+                )
+                if build:
+                    tracer.begin(
+                        "index", cat="writer", pid=wpid, tid=wtid, ts=t_sig
+                    )
                     tracer.end("index", cat="writer", pid=wpid, tid=wtid)
             start = env.now
             if traced:
                 tracer.begin(
                     "write", cat="writer", pid=wpid, tid=wtid,
-                    args={"nbytes": float(nbytes),
-                          "target_group": ws.target_group,
-                          "offset": float(ws.offset),
-                          "adaptive": ws.adaptive},
+                    args={"nbytes": float(nbytes), "target_group": target,
+                          "offset": float(offset), "adaptive": True},
                 )
             yield from fs.write(
-                files[ws.target_group],
+                files[target],
                 node=node,
-                offset=ws.offset,
+                offset=offset,
                 nbytes=nbytes,
                 writer=rank,
-                blocks=app.data_blocks(rank, ws.offset),
+                blocks=app.data_blocks(rank, offset),
             )
             end = env.now
             if traced:
@@ -209,36 +557,68 @@ class AdaptiveTransport(Transport):
                 start=start,
                 end=end,
                 nbytes=nbytes,
-                target_group=ws.target_group,
-                adaptive=ws.adaptive,
+                target_group=target,
+                adaptive=True,
             )
             wc = WriteComplete(
                 source_rank=rank,
                 source_group=g,
-                target_group=ws.target_group,
+                target_group=target,
                 nbytes=nbytes,
                 index_nbytes=index_nbytes,
-                adaptive=ws.adaptive,
+                adaptive=True,
             )
-            # WRITE_COMPLETE to the triggering SC (always our own);
-            # if we were steered elsewhere, also to the target SC.
-            comm.send(rank, sc_rank[g], wc, tag=TAG_SC)
-            if ws.target_group != g:
-                comm.send(rank, sc_rank[ws.target_group], wc, tag=TAG_SC)
-            # Local index to the *target* SC, concurrent with the next
-            # writer's data.
-            entries = tuple(app.index_entries(rank, ws.offset))
+            comm.send(rank, sc_rank[target], wc, tag=TAG_SC)
+            entries = tuple(app.index_entries(rank, offset))
             comm.send(
                 rank,
-                sc_rank[ws.target_group],
-                IndexBody(rank, ws.target_group, entries),
+                sc_rank[target],
+                IndexBody(rank, target, entries),
                 tag=TAG_SC,
                 nbytes=index_nbytes,
             )
+            return wc
 
-        # ---------------- Sub-coordinator role (Algorithm 2) --------------
-        def sc_proc(g: int, files_ready, all_created):
-            me = sc_rank[g]
+        # ---------------- Writer role (Algorithm 1, reference mode) -------
+        # One process per rank, one pre-signal message per rank: the
+        # per-writer cost the batched mode removes.  Data movement and
+        # timing live in _GroupStream for both modes; the writer's job
+        # here is purely the protocol's per-rank message traffic.
+        def writer_proc(rank: int, files_ready):
+            yield files_ready
+            g = group_of[rank]
+            # The pre-signal: the SC really messages each member its
+            # slot in the group's write plan.
+            yield comm.recv(rank, tag=TAG_WRITER)
+            outcome = yield member_ev[rank]
+            if outcome[0] == "done":
+                _kind, _t_start, _t_end, offset = outcome
+                wc = WriteComplete(
+                    source_rank=rank,
+                    source_group=g,
+                    target_group=g,
+                    nbytes=nbytes,
+                    index_nbytes=index_nbytes,
+                )
+                comm.send(rank, sc_rank[g], wc, tag=TAG_SC)
+                entries = tuple(app.index_entries(rank, offset))
+                comm.send(
+                    rank,
+                    sc_rank[g],
+                    IndexBody(rank, g, entries),
+                    tag=TAG_SC,
+                    nbytes=index_nbytes,
+                )
+            else:  # stolen: the real steal signal is in flight to us
+                msg = yield comm.recv(rank, tag=TAG_WRITER)
+                ws: WriteStart = msg.payload
+                wc = yield from _steered_write(
+                    rank, g, ws.target_group, ws.offset
+                )
+                comm.send(rank, sc_rank[g], wc, tag=TAG_SC)
+
+        # -- shared SC prologue: create my sub-file, rendezvous ------------
+        def _sc_open(g: int, files_ready, all_created):
             path = f"/{output_name}.bp.dir/{g:04d}.bp"
             ost = fs.allocate_osts(1)[0]
             f = yield from fs.create(path, osts=[ost], stripe_size=1e15)
@@ -248,107 +628,10 @@ class AdaptiveTransport(Transport):
                 phase["open_end"] = env.now
                 files_ready.succeed()
             yield files_ready
+            return path, ost, f
 
-            members = groups.ranks_in(g)
-            # Own writer first: the SC "can each focus on management
-            # after completing their writes".
-            waiting = deque(members)
-            cursor = 0.0
-            active_local = 0
-            completions = 0
-            missing_indices = 0
-            done = False
-            local_index = LocalIndex(path)
-
-            def signal_local() -> None:
-                nonlocal cursor, active_local
-                while (
-                    not done
-                    and waiting
-                    and active_local < self.writers_per_target
-                ):
-                    w = waiting.popleft()
-                    if traced:
-                        tracer.instant(
-                            "WRITE_START", cat="steer", pid="adaptive",
-                            tid=f"sc {g}",
-                            args={"writer": w, "target_group": g,
-                                  "offset": float(cursor)},
-                        )
-                    comm.send(
-                        me, w, WriteStart(g, cursor), tag=TAG_WRITER
-                    )
-                    cursor += nbytes
-                    active_local += 1
-
-            signal_local()
-            while not done or missing_indices > 0:
-                msg = yield comm.recv(me, tag=TAG_SC)
-                p = msg.payload
-                if isinstance(p, WriteComplete):
-                    if p.target_group == g:
-                        # A write against my OST finished (mine or a
-                        # steered foreign one): its index is inbound.
-                        missing_indices += 1
-                        if p.source_group == g:
-                            active_local -= 1
-                            signal_local()
-                    if p.source_group == g:
-                        completions += 1
-                        if p.adaptive:
-                            comm.send(me, coord, p, tag=TAG_COORD)
-                        if completions == len(members):
-                            comm.send(
-                                me,
-                                coord,
-                                ScComplete(g, cursor),
-                                tag=TAG_COORD,
-                            )
-                elif isinstance(p, IndexBody):
-                    local_index.add(p.entries)
-                    missing_indices -= 1
-                elif isinstance(p, AdaptiveWriteStart):
-                    if not waiting:
-                        stats["busy_bounces"] += 1
-                        if traced:
-                            tracer.instant(
-                                "WRITERS_BUSY", cat="steer",
-                                pid="adaptive", tid=f"sc {g}",
-                                args={"target_group": p.target_group},
-                            )
-                        comm.send(
-                            me,
-                            coord,
-                            WritersBusy(g, p.target_group, p.offset),
-                            tag=TAG_COORD,
-                        )
-                    else:
-                        # Steal from the tail: the head writer is next
-                        # in line for our own target anyway.
-                        w = waiting.pop()
-                        if traced:
-                            tracer.instant(
-                                "WRITE_START", cat="steer",
-                                pid="adaptive", tid=f"sc {g}",
-                                args={"writer": w,
-                                      "target_group": p.target_group,
-                                      "offset": float(p.offset),
-                                      "adaptive": True},
-                            )
-                        comm.send(
-                            me,
-                            w,
-                            WriteStart(p.target_group, p.offset,
-                                       adaptive=True),
-                            tag=TAG_WRITER,
-                        )
-                elif isinstance(p, OverallWriteComplete):
-                    done = True
-                else:  # pragma: no cover - defensive
-                    raise ProtocolError(f"SC {g}: unexpected {p!r}")
-
-            # Sort and merge the index pieces, write the file index,
-            # ship it to C.
+        def _sc_epilogue(g: int, me: int, f, path: str, local_index):
+            """Merge/write the file index and ship it to C (both modes)."""
             entries = local_index.finalize()
             local_index.check_no_overlap()
             yield from fs.write(
@@ -366,6 +649,246 @@ class AdaptiveTransport(Transport):
                 tag=TAG_COORD,
                 nbytes=local_index.serialized_bytes,
             )
+
+        # ---------------- Sub-coordinator role (Algorithm 2, reference) ---
+        def sc_proc(g: int, files_ready, all_created):
+            me = sc_rank[g]
+            path, ost, f = yield from _sc_open(g, files_ready, all_created)
+
+            members = groups.ranks_in(g)
+            local_index = LocalIndex(path)
+            stream = _GroupStream(
+                env, fs, f, ost, g,
+                src_node=machine.node_of(me),
+                members=members,
+                nbytes=nbytes,
+                t_open=env.now,
+                hop=hop,
+                build=build,
+                machine=machine,
+                app=app,
+                timings=timings,
+                notify=lambda r, o: member_ev[r].succeed(o),
+                lanes=self.writers_per_target,
+            )
+            # Pre-signal the whole plan — one real message per member —
+            # then start the stream once the first signal has landed
+            # (hop) and its index is built (build).
+            _emit_plan_instants(g, members)
+            for k, w in enumerate(members):
+                comm.send(me, w, WriteStart(g, k * nbytes), tag=TAG_WRITER)
+            env.schedule_callback(hop + build, stream.begin)
+
+            completions = 0
+            missing_indices = 0
+            done = False
+            while not done or missing_indices > 0:
+                msg = yield comm.recv(me, tag=TAG_SC)
+                p = msg.payload
+                if isinstance(p, WriteComplete):
+                    if p.target_group == g:
+                        # A write against my OST finished (mine or a
+                        # steered foreign one): its index is inbound.
+                        missing_indices += 1
+                    if p.source_group == g:
+                        completions += 1
+                        if p.adaptive:
+                            comm.send(me, coord, p, tag=TAG_COORD)
+                        if completions == len(members):
+                            comm.send(
+                                me,
+                                coord,
+                                ScComplete(g, stream.final_offset),
+                                tag=TAG_COORD,
+                            )
+                elif isinstance(p, IndexBody):
+                    local_index.add(p.entries)
+                    missing_indices -= 1
+                elif isinstance(p, AdaptiveWriteStart):
+                    if not stream.has_stealable:
+                        stats["busy_bounces"] += 1
+                        _emit_busy_instant(g, p.target_group)
+                        comm.send(
+                            me,
+                            coord,
+                            WritersBusy(g, p.target_group, p.offset),
+                            tag=TAG_COORD,
+                        )
+                    else:
+                        # Steal from the tail: the head writer is next
+                        # in line for our own target anyway.
+                        w = stream.truncate_tail(p.target_group, p.offset)
+                        _emit_steal_instant(g, w, p.target_group, p.offset)
+                        comm.send(
+                            me,
+                            w,
+                            WriteStart(p.target_group, p.offset,
+                                       adaptive=True),
+                            tag=TAG_WRITER,
+                        )
+                elif isinstance(p, OverallWriteComplete):
+                    done = True
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"SC {g}: unexpected {p!r}")
+
+            yield from _sc_epilogue(g, me, f, path, local_index)
+
+        # ---------------- Cohort role (Algorithm 2, batched) --------------
+        # One process per *group*: it owns the stream, accounts local
+        # member completions synchronously at their message-arrival
+        # instants (scheduled +hop, float-identical to a real send),
+        # and multiplexes everything else — real foreign messages via
+        # a pump, steered-write completions, pokes — through one
+        # mailbox.  Per-writer processes and per-write message rounds
+        # disappear; coordinator-bound bursts coalesce into CoordBatch.
+        def cohort_proc(g: int, files_ready, all_created):
+            me = sc_rank[g]
+            path, ost, f = yield from _sc_open(g, files_ready, all_created)
+
+            members = groups.ranks_in(g)
+            n_members = len(members)
+            local_index = LocalIndex(path)
+            mb = Mailbox(env)
+            state = {
+                "completions": 0,
+                "missing_foreign": 0,
+                "owc": False,
+                # Watermark of the folded-away local WC/IndexBody
+                # arrivals; the cohort may not finalize before it.
+                "last_arrival": env.now,
+            }
+            out_coord: List[object] = []
+
+            def flush_coord() -> None:
+                if not out_coord:
+                    return
+                if len(out_coord) == 1:
+                    comm.send(me, coord, out_coord[0], tag=TAG_COORD)
+                else:
+                    comm.send(
+                        me, coord, CoordBatch(tuple(out_coord)),
+                        tag=TAG_COORD,
+                    )
+                out_coord.clear()
+
+            def maybe_poke() -> None:
+                if (
+                    state["owc"]
+                    and state["completions"] == n_members
+                    and state["missing_foreign"] == 0
+                ):
+                    mb.put(("poke",))
+
+            def local_wc_arrived() -> None:
+                # Runs +hop after a local boundary: the instant the
+                # member's WriteComplete would reach a reference SC.
+                state["completions"] += 1
+                if state["completions"] == n_members:
+                    out_coord.append(ScComplete(g, stream.final_offset))
+                    flush_coord()
+                maybe_poke()
+
+            def steered_proc(rank: int, target: int, offset: float):
+                yield env.timeout(hop)  # the steal signal's flight
+                wc = yield from _steered_write(rank, g, target, offset)
+                # Our own cohort learns at +hop — the WC hop the
+                # reference writer sends home.
+                env.schedule_callback(
+                    hop, lambda: mb.put(("steered_done", wc))
+                )
+
+            def on_member(rank: int, outcome) -> None:
+                if outcome[0] == "done":
+                    _kind, _t_start, t_end, offset = outcome
+                    state["last_arrival"] = max(
+                        state["last_arrival"], t_end + hop, t_end + idx_hop
+                    )
+                    local_index.add(tuple(app.index_entries(rank, offset)))
+                    env.schedule_callback(hop, local_wc_arrived)
+                else:
+                    _kind, target, offset = outcome
+                    env.process(
+                        steered_proc(rank, target, offset),
+                        name=f"adaptive.steer.{rank}",
+                    )
+
+            stream = _GroupStream(
+                env, fs, f, ost, g,
+                src_node=machine.node_of(me),
+                members=members,
+                nbytes=nbytes,
+                t_open=env.now,
+                hop=hop,
+                build=build,
+                machine=machine,
+                app=app,
+                timings=timings,
+                notify=on_member,
+                lanes=self.writers_per_target,
+            )
+            _emit_plan_instants(g, members)
+            env.schedule_callback(hop + build, stream.begin)
+
+            def pump():
+                while True:
+                    msg = yield comm.recv(me, tag=TAG_SC)
+                    mb.put(("msg", msg.payload))
+
+            pump_p = env.process(pump(), name=f"adaptive.pump.{g}")
+
+            while not (
+                state["owc"]
+                and state["completions"] == n_members
+                and state["missing_foreign"] == 0
+            ):
+                item = yield mb.get()
+                kind = item[0]
+                if kind == "msg":
+                    p = item[1]
+                    if isinstance(p, WriteComplete):
+                        # A foreign steered write against my OST; its
+                        # index body is inbound.
+                        state["missing_foreign"] += 1
+                    elif isinstance(p, IndexBody):
+                        local_index.add(p.entries)
+                        state["missing_foreign"] -= 1
+                    elif isinstance(p, AdaptiveWriteStart):
+                        if not stream.has_stealable:
+                            stats["busy_bounces"] += 1
+                            _emit_busy_instant(g, p.target_group)
+                            out_coord.append(
+                                WritersBusy(g, p.target_group, p.offset)
+                            )
+                            flush_coord()
+                        else:
+                            w = stream.truncate_tail(
+                                p.target_group, p.offset
+                            )
+                            _emit_steal_instant(
+                                g, w, p.target_group, p.offset
+                            )
+                    elif isinstance(p, OverallWriteComplete):
+                        state["owc"] = True
+                    else:  # pragma: no cover - defensive
+                        raise ProtocolError(f"cohort {g}: unexpected {p!r}")
+                elif kind == "steered_done":
+                    # A stolen member's WC arrived home: relay it (and,
+                    # if it completes the group, the ScComplete it
+                    # unlocks) in one coalesced coordinator message.
+                    wc = item[1]
+                    state["completions"] += 1
+                    out_coord.append(wc)
+                    if state["completions"] == n_members:
+                        out_coord.append(
+                            ScComplete(g, stream.final_offset)
+                        )
+                    flush_coord()
+                # "poke" items wake the loop; the condition re-checks.
+
+            pump_p.kill("cohort finished")
+            if env.now < state["last_arrival"]:
+                yield env.timeout(state["last_arrival"] - env.now)
+            yield from _sc_epilogue(g, me, f, path, local_index)
 
         # ---------------- Coordinator role (Algorithm 3) -------------------
         def coord_proc(files_ready):
@@ -425,9 +948,8 @@ class AdaptiveTransport(Transport):
                     and outstanding == 0
                 )
 
-            while not finished():
-                msg = yield comm.recv(coord, tag=TAG_COORD)
-                p = msg.payload
+            def dispatch(p) -> None:
+                nonlocal outstanding
                 if isinstance(p, WriteComplete):
                     if not p.adaptive:  # pragma: no cover - defensive
                         raise ProtocolError(
@@ -461,6 +983,18 @@ class AdaptiveTransport(Transport):
                 else:  # pragma: no cover - defensive
                     raise ProtocolError(f"C: unexpected {p!r}")
 
+            while not finished():
+                msg = yield comm.recv(coord, tag=TAG_COORD)
+                p = msg.payload
+                if isinstance(p, CoordBatch):
+                    # Coalesced same-instant burst from a cohort: the
+                    # payloads run through dispatch in send order, so
+                    # steering decisions match the loose-message mode.
+                    for q in p.payloads:
+                        dispatch(q)
+                else:
+                    dispatch(p)
+
             for g in range(n_groups):
                 comm.send(
                     coord, sc_rank[g], OverallWriteComplete(), tag=TAG_SC
@@ -493,19 +1027,29 @@ class AdaptiveTransport(Transport):
             files_ready = env.event()
             all_created = [0]
             procs = []
-            for g in range(n_groups):
-                procs.append(
-                    env.process(
-                        sc_proc(g, files_ready, all_created),
-                        name=f"adaptive.sc.{g}",
+            if self.batched:
+                for g in range(n_groups):
+                    procs.append(
+                        env.process(
+                            cohort_proc(g, files_ready, all_created),
+                            name=f"adaptive.sc.{g}",
+                        )
                     )
-                )
-            for r in range(n_ranks):
-                procs.append(
-                    env.process(
-                        writer_proc(r, files_ready), name=f"adaptive.w.{r}"
+            else:
+                for g in range(n_groups):
+                    procs.append(
+                        env.process(
+                            sc_proc(g, files_ready, all_created),
+                            name=f"adaptive.sc.{g}",
+                        )
                     )
-                )
+                for r in range(n_ranks):
+                    procs.append(
+                        env.process(
+                            writer_proc(r, files_ready),
+                            name=f"adaptive.w.{r}",
+                        )
+                    )
             procs.append(
                 env.process(coord_proc(files_ready), name="adaptive.coord")
             )
@@ -1384,9 +1928,13 @@ class AdaptiveTransport(Transport):
             if run_flags["timed_out"]:
                 for p in protocol_pending():
                     p.kill("run timeout backstop")
+            # Heartbeat senders and the monitor park exclusively on
+            # their own private timeouts; cancelling the waited event
+            # removes the stale calendar entry instead of leaving a
+            # wakeup to fire into a dead closure after the run.
             for p in hb_procs + [mon]:
                 if p.is_alive:
-                    p.kill("protocol finished")
+                    p.kill("protocol finished", cancel_wait=True)
             phase.setdefault("write_end", env.now)
 
             # Release the writer service loops; bound the goodbye so a

@@ -28,6 +28,7 @@ class Scale(str, Enum):
     SMALL = "small"  # benchmark default: reduced machine, full shape
     LARGE = "large"  # full Jaguar machine, single sweep cell per figure
     PAPER = "paper"  # publication configuration (slow)
+    EXA = "exa"  # beyond-Jaguar projection: ~5000 OSTs, 64k writers
 
     @classmethod
     def parse(cls, value: "str | Scale") -> "Scale":
@@ -50,24 +51,27 @@ def scale_from_env(default: "str | Scale" = Scale.SMALL) -> Scale:
 # LARGE validates that a full-machine cell *completes* — figures that
 # have nothing machine-size-specific to prove at that scale simply run
 # their PAPER configuration instead of each growing a near-duplicate
-# preset.
-_PRESET_FALLBACKS = {Scale.LARGE: Scale.PAPER}
+# preset.  EXA is only meaningful for figures that define it (today
+# the application sweep); everything else falls back to LARGE.
+_PRESET_FALLBACKS = {Scale.LARGE: Scale.PAPER, Scale.EXA: Scale.LARGE}
 
 
 def resolve_preset(presets, scale: "str | Scale"):
     """Look up a figure's preset table with documented fallbacks.
 
     ``presets[scale]`` when the figure defines that scale directly;
-    otherwise the fallback chain in :data:`_PRESET_FALLBACKS` (today
-    just ``LARGE -> PAPER``).  Raises ``KeyError`` only for a scale the
-    figure neither defines nor inherits.
+    otherwise the fallback chain in :data:`_PRESET_FALLBACKS`
+    (``EXA -> LARGE -> PAPER``), followed transitively so a figure
+    with only a PAPER preset still resolves at EXA.  Raises
+    ``KeyError`` only for a scale the figure neither defines nor
+    inherits.
     """
     scale = Scale.parse(scale)
-    if scale in presets:
-        return presets[scale]
-    fallback = _PRESET_FALLBACKS.get(scale)
-    if fallback is not None and fallback in presets:
-        return presets[fallback]
+    probe = scale
+    while probe is not None:
+        if probe in presets:
+            return presets[probe]
+        probe = _PRESET_FALLBACKS.get(probe)
     raise KeyError(
         f"no {scale.value!r} preset (and no fallback) for this figure"
     )

@@ -77,6 +77,14 @@ _PRESETS: Dict[Scale, SweepConfig] = {
         pool_osts=672, adaptive_osts=512, stripe_cap=160,
         proc_counts=(512, 2048, 8192, 16384), n_samples=5,
     ),
+    # Beyond-Jaguar projection: a ~5000-OST pool (the paper's Spider
+    # deployment grown one order) with 64k writers.  Only feasible
+    # because the batched protocol's cost scales with groups x OSTs,
+    # not writers x writes.
+    Scale.EXA: SweepConfig(
+        pool_osts=5000, adaptive_osts=4096, stripe_cap=160,
+        proc_counts=(65536,), n_samples=1,
+    ),
 }
 
 

@@ -365,6 +365,68 @@ class FileSystem:
                 self.corrupt_hook(f, stored)
         return record
 
+    def record_aggregated_write(
+        self,
+        f: SimFile,
+        node: int,
+        offset: float,
+        nbytes: float,
+        start_time: float,
+        end_time: float,
+        writer: Optional[int] = None,
+        payload: object = None,
+        blocks: Optional[Sequence[Tuple[float, float, Optional[int]]]] = None,
+    ) -> WriteRecord:
+        """Bookkeeping for a write whose bytes rode an aggregate flow.
+
+        The batched adaptive protocol moves a whole group's data as one
+        fabric flow; individual members' segments are accounted here
+        when their boundary inside the stream is crossed.  This is the
+        bookkeeping tail of :meth:`write` — record, metrics, stored
+        blocks, corruption hook, and the traced ``ost.service`` span at
+        the member's actual (possibly past) start/end instants — with
+        no fabric interaction: the carrying flow already moved the
+        bytes.
+        """
+        tr = self.env.tracer
+        if tr is not None and tr.enabled:
+            tid = f"writer {node if writer is None else writer}"
+            for ost, b in f.layout.span_list(offset, nbytes):
+                tr.begin(
+                    "ost.service",
+                    cat="ost",
+                    pid=f"ost/{ost}",
+                    tid=tid,
+                    ts=start_time,
+                    args={"nbytes": float(b), "offset": float(offset),
+                          "writer": writer},
+                )
+                tr.end("ost.service", cat="ost", pid=f"ost/{ost}", tid=tid,
+                       ts=end_time)
+        record = WriteRecord(
+            offset=offset,
+            nbytes=nbytes,
+            start_time=start_time,
+            end_time=end_time,
+            writer=writer,
+        )
+        if self.metrics is not None:
+            self._m_writes.inc()
+            self._m_bytes_written.inc(float(nbytes))
+            self._m_write_seconds.observe(end_time - start_time)
+        f.record_write(record, payload=payload)
+        if blocks:
+            stored = []
+            for boff, bnb, cksum in blocks:
+                self._store_seq += 1
+                stored.append(
+                    f.store_block(boff, bnb, cksum, self._store_seq,
+                                  writer=writer)
+                )
+            if self.corrupt_hook is not None:
+                self.corrupt_hook(f, stored)
+        return record
+
     def _withdraw_flows(self, fids: List[int]) -> float:
         """Cancel whichever of *fids* are still in flight; bytes undelivered."""
         undelivered = 0.0

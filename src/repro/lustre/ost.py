@@ -233,6 +233,8 @@ class OstPool:
         # dropped whenever a drain input (load_mult / fault_mult)
         # changes.
         self._drain_memo: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Same idea for the ingest-stage vector (curve * mult * gate).
+        self._ingest_memo: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- wiring ----------------------------------------------------------
     def bind_invalidate(self, callback) -> None:
@@ -285,6 +287,7 @@ class OstPool:
         ):
             raise ValueError("ingest multipliers must be in (0, 1]")
         self._drain_memo = None
+        self._ingest_memo = None
         if self._on_change is not None:
             self._on_change()
 
@@ -306,6 +309,7 @@ class OstPool:
         self.cache_level[i] = 0.0
         self._full[i] = False
         self._drain_memo = None
+        self._ingest_memo = None
         mi = self._metrics
         if mi is not None:
             mi.counter("ost.state_changes", to="failed", ost=i).inc()
@@ -322,6 +326,7 @@ class OstPool:
         self.fault_mult[i] = 0.0
         self._ingest_gate[i] = 0.0
         self._drain_memo = None
+        self._ingest_memo = None
         mi = self._metrics
         if mi is not None:
             mi.counter("ost.state_changes", to="hung", ost=i).inc()
@@ -338,6 +343,7 @@ class OstPool:
         self.fault_mult[i] = float(factor)
         self._ingest_gate[i] = 1.0
         self._drain_memo = None
+        self._ingest_memo = None
         mi = self._metrics
         if mi is not None:
             mi.counter("ost.state_changes", to="degraded", ost=i).inc()
@@ -351,6 +357,7 @@ class OstPool:
         self.fault_mult[i] = 1.0
         self._ingest_gate[i] = 1.0
         self._drain_memo = None
+        self._ingest_memo = None
         mi = self._metrics
         if mi is not None:
             mi.counter("ost.state_changes", to="up", ost=i).inc()
@@ -416,12 +423,17 @@ class OstPool:
         else:
             self._full[:] = True
         drain = self._drain_rates(counts)
-        ingest = (
-            self.config.ingest_peak
-            * self.config.ingest_curve(np.maximum(counts, 1))
-            * self.ingest_mult
-            * self._ingest_gate
-        )
+        memo = self._ingest_memo
+        if memo is not None and memo[0] is counts:
+            ingest = memo[1]
+        else:
+            ingest = (
+                self.config.ingest_peak
+                * self.config.ingest_curve(np.maximum(counts, 1))
+                * self.ingest_mult
+                * self._ingest_gate
+            )
+            self._ingest_memo = (counts, ingest)
         return np.where(self._full, np.minimum(drain, ingest), ingest)
 
     def next_transition(

@@ -473,6 +473,21 @@ class FlowNetwork:
         self._settle_pending = False
         self._settle_event: Optional[Event] = None
         self._timer_event: Optional[Event] = None
+        # Rate-change watchers: flow id -> [callback, last notified
+        # rate].  Notified at the end of every settle whose allocation
+        # changed the flow's rate; pruned automatically when the flow
+        # completes, cancels or fails.  Aggregate-flow owners (the
+        # adaptive transport's group streams) hang here to re-predict
+        # member-boundary crossings without forcing extra settles.
+        self._watchers: Dict[int, list] = {}
+        # Vectorized watcher scan: parallel (fid, slot, last-rate)
+        # snapshot rebuilt lazily whenever the watcher set changes, so
+        # a settle pays one fancy-index + compare instead of a Python
+        # loop over every watched flow.
+        self._watch_dirty = False
+        self._watch_fids: list = []
+        self._watch_slots = np.empty(0, dtype=np.intp)
+        self._watch_last = np.empty(0, dtype=np.float64)
         self.total_bytes_delivered = 0.0
         self.settle_count = 0
         self.realloc_count = 0
@@ -612,6 +627,7 @@ class FlowNetwork:
                 args={"cancelled": True, "undelivered": left},
             )
         ev.abort(("cancelled", flow_id))
+        self._unwatch(flow_id)
         self._request_settle()
         return left
 
@@ -655,6 +671,7 @@ class FlowNetwork:
                     args={"failed": True, "undelivered": left},
                 )
             ev.fail(OstFailedError(sink, f"ost {sink} failed mid-transfer"))
+            self._unwatch(fid)
         self._flowset_gen += 1
         self._dirty_sinks.add(int(sink))
         self._request_settle()
@@ -667,6 +684,74 @@ class FlowNetwork:
         (flow progress, pool state, completions) is current on return.
         """
         self._settle()
+
+    def flow_progress(self, flow_id: int) -> Tuple[float, float]:
+        """``(delivered_bytes, current_rate)`` of a live flow, now.
+
+        Pure query: flows drain linearly between settles, so progress
+        at *now* is derived arithmetically from the last settle's state
+        without mutating anything or forcing a reallocation.  Raises
+        ``KeyError`` for unknown/finished flows.
+        """
+        slot = self._slot_of.get(flow_id)
+        if slot is None:
+            raise KeyError(f"unknown or finished flow {flow_id}")
+        _ev, nbytes, _t0 = self._records[flow_id]
+        rate = float(self._rate[slot])
+        remaining = float(self._remaining[slot]) - rate * (
+            self.env.now - self._last_settle
+        )
+        return nbytes - remaining, rate
+
+    def adjust_flow_bytes(self, flow_id: int, delta: float) -> float:
+        """Shrink (or grow) a live flow's total byte count by ``delta``.
+
+        Progress is advanced to *now* first, then the adjustment lands
+        on the undelivered tail — the paper's steering steal maps to a
+        negative ``delta`` truncating the bytes not yet streamed.  The
+        flow's rate (and every other flow's) is unchanged, so the
+        deferred settle this requests rides the skip-reallocation fast
+        path and merely re-arms the completion timer.  Returns the new
+        remaining byte count.
+        """
+        slot = self._slot_of.get(flow_id)
+        if slot is None:
+            raise KeyError(f"unknown or finished flow {flow_id}")
+        self._advance_only()
+        new_remaining = float(self._remaining[slot]) + float(delta)
+        if new_remaining < -_EPS_BYTES:
+            raise ValueError(
+                f"flow {flow_id}: adjustment {delta} exceeds the "
+                f"{self._remaining[slot]} undelivered bytes"
+            )
+        self._remaining[slot] = new_remaining
+        ev, nbytes, t0 = self._records[flow_id]
+        self._records[flow_id] = (ev, nbytes + float(delta), t0)
+        self._request_settle()
+        return new_remaining
+
+    def watch_flow(self, flow_id: int, callback) -> None:
+        """Call ``callback(now, new_rate)`` whenever the flow's rate
+        changes at a settle.
+
+        One watcher per flow.  The callback runs at the end of the
+        settle (state already advanced to now); it must not resettle
+        synchronously, but may start flows, adjust byte counts or
+        schedule calendar entries.  The watcher is dropped when the
+        flow completes, cancels or fails.
+        """
+        if flow_id not in self._records:
+            raise KeyError(f"unknown or finished flow {flow_id}")
+        slot = self._slot_of[flow_id]
+        self._watchers[flow_id] = [callback, float(self._rate[slot]), slot]
+        self._watch_dirty = True
+
+    def unwatch_flow(self, flow_id: int) -> None:
+        self._unwatch(flow_id)
+
+    def _unwatch(self, flow_id: int) -> None:
+        if self._watchers.pop(flow_id, None) is not None:
+            self._watch_dirty = True
 
     # -- internals ---------------------------------------------------------
     def _alloc_slot(self) -> int:
@@ -768,6 +853,7 @@ class FlowNetwork:
                     tid=f"flow {fid}",
                     args={"duration": now - t0},
                 )
+            self._unwatch(fid)
             ev.succeed(
                 FlowStats(fid, int(self._src[slot]), int(self._dst[slot]), nbytes, t0, now)
             )
@@ -843,6 +929,34 @@ class FlowNetwork:
         if self.metrics is not None:
             self._m_settles.inc()
             self._m_flows.set(int(act_slots.size))
+        if self._watchers:
+            # Snapshot (dict insertion = registration) order keeps
+            # notification deterministic across runs; the numpy compare
+            # makes the common nothing-changed settle O(1)-ish instead
+            # of a Python loop over every watched flow.
+            if self._watch_dirty:
+                self._watch_fids = list(self._watchers.keys())
+                recs = self._watchers
+                self._watch_slots = np.fromiter(
+                    (recs[f][2] for f in self._watch_fids),
+                    dtype=np.intp, count=len(self._watch_fids),
+                )
+                self._watch_last = np.fromiter(
+                    (recs[f][1] for f in self._watch_fids),
+                    dtype=np.float64, count=len(self._watch_fids),
+                )
+                self._watch_dirty = False
+            cur = self._rate[self._watch_slots]
+            if not np.array_equal(cur, self._watch_last):
+                for i in np.nonzero(cur != self._watch_last)[0]:
+                    fid = self._watch_fids[int(i)]
+                    rec = self._watchers.get(fid)
+                    if rec is None:  # pruned by an earlier callback
+                        continue
+                    r = float(cur[i])
+                    rec[1] = r
+                    self._watch_last[i] = r
+                    rec[0](now, r)
         hook = self.on_settle
         if hook is not None:
             hook(now)

@@ -33,7 +33,7 @@ from repro.sim.events import (
     EventAborted,
     Timeout,
 )
-from repro.sim.process import Interrupt, Process, ProcessKilled
+from repro.sim.process import Interrupt, Mailbox, Process, ProcessKilled
 from repro.sim.engine import Deadlock, Environment, SimulationError, StopSimulation
 from repro.sim.queues import PriorityStore, Resource, Store
 from repro.sim.rng import RngRegistry
@@ -47,6 +47,7 @@ __all__ = [
     "Event",
     "EventAborted",
     "Interrupt",
+    "Mailbox",
     "PriorityStore",
     "Process",
     "ProcessKilled",

@@ -10,6 +10,7 @@ each other (fork/join) simply by yielding the child process.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import Event
@@ -17,7 +18,7 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
-__all__ = ["Process", "Interrupt", "ProcessKilled"]
+__all__ = ["Process", "Interrupt", "ProcessKilled", "Mailbox"]
 
 
 class Interrupt(Exception):
@@ -107,8 +108,17 @@ class Process(Event):
         kick.add_callback(self._resume_with_interrupt)
         self.env._schedule(kick, priority=0)
 
-    def kill(self, cause: Any = None) -> None:
-        """Terminate the process; its event fails with ProcessKilled."""
+    def kill(self, cause: Any = None, cancel_wait: bool = False) -> None:
+        """Terminate the process; its event fails with ProcessKilled.
+
+        With ``cancel_wait=True`` the event the process was parked on
+        is additionally :meth:`~repro.sim.events.Event.cancel`-ed,
+        removing its calendar entry instead of leaving a stale wakeup
+        to fire into nothing.  Only safe when the caller knows the
+        event is private to this process (e.g. its own heartbeat
+        timeout) — cancelling a shared event would starve the other
+        waiters.
+        """
         if not self.is_alive:
             return
         waited = self._waiting_on
@@ -118,6 +128,8 @@ class Process(Event):
                 waited.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if cancel_wait and not waited.processed:
+                waited.cancel()
         self.generator.close()
         self.fail(ProcessKilled(cause))
         self.env._live.discard(self)
@@ -192,3 +204,50 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.is_alive else "done"
         return f"<Process {self.name} {state}>"
+
+
+class Mailbox:
+    """Single-consumer FIFO queue for cohort-style processes.
+
+    The batched adaptive protocol replaces thousands of per-rank
+    processes with one cohort process per sub-coordinator; the cohort
+    multiplexes *every* input — delivered MPI messages, stream-member
+    boundary notifications, delayed self-wakeups — through one mailbox
+    instead of one suspended process per source.  ``put`` is callable
+    from plain callbacks (no process context needed); ``get`` returns
+    an event the consumer yields on, pre-succeeded when items are
+    already queued so the consumer never blocks behind an empty poll.
+
+    Deliberately single-consumer: at most one outstanding ``get`` at a
+    time, which keeps wakeup ordering trivially FIFO and deterministic.
+    """
+
+    __slots__ = ("env", "_items", "_waiter")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._items: deque = deque()
+        self._waiter: Optional[Event] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item; wakes the waiting consumer, if any."""
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event firing with the next item (immediately if queued)."""
+        if self._waiter is not None:
+            raise RuntimeError("mailbox already has a pending consumer")
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._waiter = ev
+        return ev

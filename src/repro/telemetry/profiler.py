@@ -12,6 +12,9 @@ simulator subsystems:
 ``protocol``    simulation-process bodies — transport protocol code
                 (writers, sub-coordinators, steering), interference
                 generators, background jobs
+``protocol.stream``  the batched transport's group-stream callbacks
+                (boundary timers, rate-change re-predictions, member
+                completion bookkeeping) which run outside any process
 ``tracer``      trace-event recording, when a tracer is attached
 ``other``       real time outside ``env.run`` (index assembly, result
                 construction, harness code) — total minus the above
@@ -42,7 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Profiler", "profiling"]
 
-SECTIONS = ("engine", "fabric.settle", "protocol", "tracer")
+SECTIONS = ("engine", "fabric.settle", "protocol", "protocol.stream",
+            "tracer")
+
+# _GroupStream entry points that run as plain calendar/watcher
+# callbacks, outside any Process._step (which would otherwise absorb
+# them into ``protocol``).
+_STREAM_METHODS = (
+    "begin", "_on_timer", "_on_rate_change", "_on_flow_done",
+    "_on_lane_done",
+)
 
 
 class Profiler:
@@ -177,6 +189,11 @@ def _patch_classes() -> None:
     for meth in ("begin", "end", "complete", "instant", "counter"):
         _saved[meth] = _make_traced(Tracer, meth)
 
+    from repro.core.transports.adaptive import _GroupStream
+
+    for meth in _STREAM_METHODS:
+        _saved["stream." + meth] = _make_stream_profiled(_GroupStream, meth)
+
 
 def _make_traced(cls, meth: str):
     orig = getattr(cls, meth)
@@ -196,6 +213,23 @@ def _make_traced(cls, meth: str):
     return orig
 
 
+def _make_stream_profiled(cls, meth: str):
+    orig = getattr(cls, meth)
+
+    def profiled(self, *args, **kwargs):
+        prof = self.env.profiler
+        if prof is None:
+            return orig(self, *args, **kwargs)
+        prof.push("protocol.stream")
+        try:
+            return orig(self, *args, **kwargs)
+        finally:
+            prof.pop()
+
+    setattr(cls, meth, profiled)
+    return orig
+
+
 def _unpatch_classes() -> None:
     global _patch_depth
     _patch_depth -= 1
@@ -203,10 +237,13 @@ def _unpatch_classes() -> None:
         return
     from repro.sim.process import Process
     from repro.trace.tracer import Tracer
+    from repro.core.transports.adaptive import _GroupStream
 
     Process._step = _saved.pop("step")
     for meth in ("begin", "end", "complete", "instant", "counter"):
         setattr(Tracer, meth, _saved.pop(meth))
+    for meth in _STREAM_METHODS:
+        setattr(_GroupStream, meth, _saved.pop("stream." + meth))
 
 
 @contextmanager

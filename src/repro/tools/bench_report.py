@@ -12,6 +12,17 @@ Usage::
     python -m repro.tools.bench_report
     python -m repro.tools.bench_report --only kernel --only scale
     python -m repro.tools.bench_report --json report.json
+
+Gate mode turns the tool into CI's perf check: each ``--gate`` names a
+``<benchmark>.<metric>=<min_ratio>`` against a ``--baseline`` directory
+of committed results; metrics whose name ends in ``_seconds`` are
+lower-is-better (ratio = baseline/current), everything else
+higher-is-better (ratio = current/baseline).  Exit status 1 when any
+gate fails::
+
+    python -m repro.tools.bench_report --baseline /tmp/committed \\
+        --gate kernel.events_per_sec=0.70 \\
+        --gate scale.adaptive_8192_seconds=0.70
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ import pathlib
 import sys
 from typing import Dict, List, Optional
 
-__all__ = ["main", "collect", "render_markdown"]
+__all__ = ["main", "collect", "render_markdown", "run_gates"]
 
 DEFAULT_RESULTS = pathlib.Path("benchmarks") / "results"
 
@@ -126,6 +137,63 @@ def render_markdown(records: List[dict], changed_only: bool = False) -> str:
     return "\n".join(lines)
 
 
+def _bench_metrics(results_dir: pathlib.Path, bench: str) -> Dict[str, float]:
+    path = results_dir / f"BENCH_{bench}.json"
+    payload = json.loads(path.read_text())
+    data = payload.get("data") or {}
+    return _flatten(data) if isinstance(data, dict) else {}
+
+
+def parse_gate(spec: str):
+    """``'<bench>.<metric>=<min_ratio>'`` -> (bench, metric, threshold)."""
+    key, sep, thr = spec.partition("=")
+    bench, dot, metric = key.partition(".")
+    if not sep or not dot or not bench or not metric:
+        raise ValueError(
+            f"bad gate {spec!r}; expected <bench>.<metric>=<min_ratio>"
+        )
+    return bench, metric, float(thr)
+
+
+def run_gates(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
+              gates: List[str]) -> int:
+    """Check every gate; returns the number of failures.
+
+    A metric ending in ``_seconds`` is lower-is-better, so its ratio is
+    ``baseline / current``; anything else is higher-is-better with
+    ``current / baseline``.  A gate passes when ratio >= threshold.
+    Missing files or metrics count as failures — a gate that cannot
+    measure must not silently pass.
+    """
+    failures = 0
+    for spec in gates:
+        bench, metric, threshold = parse_gate(spec)
+        try:
+            current = _bench_metrics(results_dir, bench)
+            baseline = _bench_metrics(baseline_dir, bench)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"GATE FAIL {spec}: unreadable results ({exc})")
+            failures += 1
+            continue
+        got = current.get(metric)
+        ref = baseline.get(metric)
+        if got is None or ref is None or ref == 0 or got == 0:
+            print(f"GATE FAIL {spec}: metric missing "
+                  f"(current={got}, baseline={ref})")
+            failures += 1
+            continue
+        lower_better = metric.endswith("_seconds")
+        ratio = ref / got if lower_better else got / ref
+        ok = ratio >= threshold
+        direction = "lower-better" if lower_better else "higher-better"
+        print(f"GATE {'ok  ' if ok else 'FAIL'} {bench}.{metric}: "
+              f"baseline {_fmt(ref)}, current {_fmt(got)} "
+              f"-> {ratio:.2f}x ({direction}, min {threshold:.2f})")
+        if not ok:
+            failures += 1
+    return failures
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.bench_report",
@@ -149,6 +217,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="also write the aggregation as JSON",
     )
+    parser.add_argument(
+        "--gate", action="append", metavar="BENCH.METRIC=MIN_RATIO",
+        default=None,
+        help="perf gate against --baseline (repeatable); *_seconds "
+        "metrics compare baseline/current, others current/baseline; "
+        "exit 1 if the ratio is below MIN_RATIO",
+    )
+    parser.add_argument(
+        "--baseline", metavar="DIR", default=None,
+        help="directory of committed BENCH_*.json files gates compare "
+        "against (required with --gate)",
+    )
     return parser
 
 
@@ -159,6 +239,21 @@ def main(argv=None) -> int:
         print(f"results directory not found: {results_dir}",
               file=sys.stderr)
         return 1
+    if args.gate:
+        if not args.baseline:
+            print("--gate requires --baseline", file=sys.stderr)
+            return 2
+        baseline_dir = pathlib.Path(args.baseline)
+        if not baseline_dir.is_dir():
+            print(f"baseline directory not found: {baseline_dir}",
+                  file=sys.stderr)
+            return 2
+        try:
+            failures = run_gates(results_dir, baseline_dir, args.gate)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 1 if failures else 0
     records = collect(results_dir, only=args.only)
     print(render_markdown(records, changed_only=args.changed_only))
     if args.json:

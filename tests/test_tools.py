@@ -1,7 +1,10 @@
 """Tests for the CLI entry points."""
 
+import json
+
 import pytest
 
+from repro.tools.bench_report import main as report_main, parse_gate
 from repro.tools.compare import build_app, build_spec, main as compare_main
 from repro.tools.experiment import ARTIFACTS, main as experiment_main
 
@@ -66,3 +69,92 @@ class TestCompareCli:
             ]
         )
         assert rc == 0
+
+
+class TestBenchReportGates:
+    @staticmethod
+    def _write(dirpath, name, data):
+        (dirpath / f"BENCH_{name}.json").write_text(
+            json.dumps({"name": name, "text": "", "data": data})
+        )
+
+    @pytest.fixture
+    def dirs(self, tmp_path):
+        results = tmp_path / "results"
+        baseline = tmp_path / "baseline"
+        results.mkdir()
+        baseline.mkdir()
+        return results, baseline
+
+    def test_parse_gate(self):
+        assert parse_gate("scale.adaptive_8192_seconds=0.7") == (
+            "scale", "adaptive_8192_seconds", 0.7
+        )
+        with pytest.raises(ValueError):
+            parse_gate("no_metric=0.7")
+        with pytest.raises(ValueError):
+            parse_gate("bench.metric")
+
+    def test_higher_better_pass_and_fail(self, dirs, capsys):
+        results, baseline = dirs
+        self._write(baseline, "kernel", {"events_per_sec": 100.0})
+        self._write(results, "kernel", {"events_per_sec": 80.0})
+        rc = report_main([
+            "--results", str(results), "--baseline", str(baseline),
+            "--gate", "kernel.events_per_sec=0.70",
+        ])
+        assert rc == 0
+        self._write(results, "kernel", {"events_per_sec": 50.0})
+        rc = report_main([
+            "--results", str(results), "--baseline", str(baseline),
+            "--gate", "kernel.events_per_sec=0.70",
+        ])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_seconds_metric_is_lower_better(self, dirs):
+        results, baseline = dirs
+        self._write(baseline, "scale", {"adaptive_8192_seconds": 7.0})
+        # Faster than baseline: ratio 7/2 well above the gate.
+        self._write(results, "scale", {"adaptive_8192_seconds": 2.0})
+        rc = report_main([
+            "--results", str(results), "--baseline", str(baseline),
+            "--gate", "scale.adaptive_8192_seconds=0.70",
+        ])
+        assert rc == 0
+        # 2x slower than baseline: ratio 0.5 < 0.70 must fail.
+        self._write(results, "scale", {"adaptive_8192_seconds": 14.0})
+        rc = report_main([
+            "--results", str(results), "--baseline", str(baseline),
+            "--gate", "scale.adaptive_8192_seconds=0.70",
+        ])
+        assert rc == 1
+
+    def test_nested_metrics_flatten_and_missing_fails(self, dirs):
+        results, baseline = dirs
+        self._write(
+            baseline, "scale",
+            {"fig6_cell": {"adaptive": {"wall_seconds": 8.0}}},
+        )
+        self._write(
+            results, "scale",
+            {"fig6_cell": {"adaptive": {"wall_seconds": 4.0}}},
+        )
+        rc = report_main([
+            "--results", str(results), "--baseline", str(baseline),
+            "--gate", "scale.fig6_cell.adaptive.wall_seconds=0.70",
+        ])
+        assert rc == 0
+        rc = report_main([
+            "--results", str(results), "--baseline", str(baseline),
+            "--gate", "scale.not_a_metric=0.70",
+        ])
+        assert rc == 1
+
+    def test_gate_requires_baseline(self, dirs):
+        results, _ = dirs
+        rc = report_main([
+            "--results", str(results),
+            "--gate", "kernel.events_per_sec=0.70",
+        ])
+        assert rc == 2
