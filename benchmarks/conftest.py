@@ -77,6 +77,17 @@ def pytest_addoption(parser):
         "(0 = all cores; default: REPRO_JOBS, else serial).  Results "
         "are bit-identical to serial runs",
     )
+    parser.addoption(
+        "--journal",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="checkpoint every completed sweep cell to DIR "
+        "(append-only JSON-lines journal; re-running the suite with "
+        "the same DIR resumes finished cells bit-identically.  "
+        "Equivalent to setting REPRO_JOURNAL; inspect progress with "
+        "python -m repro.tools.serve status --state-dir DIR)",
+    )
 
 
 def _trace_path(config) -> "str | None":
@@ -93,6 +104,11 @@ def pytest_configure(config):
         import os
 
         os.environ["REPRO_JOBS"] = str(jobs)
+    journal = config.getoption("--journal")
+    if journal is not None:
+        import os
+
+        os.environ["REPRO_JOURNAL"] = journal
     # If --trace carried a path, make sure pytest's debugging plugin
     # never sees it as a truthy "break into pdb" request.
     if isinstance(getattr(config.option, "trace", None), str):

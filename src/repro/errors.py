@@ -13,6 +13,7 @@ __all__ = [
     "OstFailedError",
     "WriteTimeout",
     "IntegrityError",
+    "JobFailure",
     "ProtocolError",
     "TransportError",
 ]
@@ -93,6 +94,35 @@ class FaultPlanError(ConfigurationError):
 
 class ProtocolError(ReproError):
     """An adaptive-IO protocol invariant was violated."""
+
+
+class JobFailure(ReproError):
+    """A scheduled sweep job failed (error, crash loop, or timeout).
+
+    Raised by the :mod:`repro.service` scheduler when a job either
+    raised in its worker or exhausted its retry budget after repeated
+    worker deaths / wall-clock timeouts.  Carries the identity that
+    makes the failure reproducible with a one-liner: the cell
+    ``label``, the derived ``sample_seed`` (``None`` for non-sweep
+    jobs), and — when the failing function was a module-level callable
+    or a partial over one — a ready-to-paste ``repro_command``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        label: str = "",
+        sample_seed: "int | None" = None,
+        job_id: str = "",
+        repro_command: str = "",
+        error_text: str = "",
+    ):
+        super().__init__(message)
+        self.label = label
+        self.sample_seed = sample_seed
+        self.job_id = job_id
+        self.repro_command = repro_command
+        self.error_text = error_text
 
 
 class TransportError(ReproError):

@@ -271,6 +271,7 @@ def sweep_app(
                     partial(_run_cell, app, tname, cond, n_procs, cfg=cfg),
                     cfg.n_samples,
                     base_seed,
+                    label=f"{app.name}[{tname},{cond},{n_procs}p]",
                 )
                 result.cells[(tname, cond, n_procs)] = samples
     return result

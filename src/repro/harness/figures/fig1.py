@@ -210,6 +210,7 @@ def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig1Result:
                 partial(_one_cell, n_writers, size_mb, n_osts),
                 n_samples,
                 base_seed,
+                label=f"fig1[{size_mb}MB,{n_writers}w]",
             )
             result.aggregate[(size_mb, n_writers)] = [s[0] for s in samples]
             result.per_writer[(size_mb, n_writers)] = [s[1] for s in samples]

@@ -130,6 +130,7 @@ def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Fig3Result:
         partial(_one_pair, n_osts=preset["n_osts"]),
         n_samples_override(preset["n_pairs"]),
         base_seed,
+        label=f"fig3[{preset['n_osts']}osts]",
     )
     factors: List[float] = []
     for t1, t2 in pairs:

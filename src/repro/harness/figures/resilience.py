@@ -333,6 +333,37 @@ class ResilienceResult:
             ),
         )
 
+    def failure_report(self) -> List[str]:
+        """Cells whose absorbed ``TransportError`` partials are *not*
+        part of the experiment's design.
+
+        The statics are expected to abort when targets die (that is
+        the comparison); what must never happen silently is an
+        incomplete run with **zero** failures injected (k=0), or the
+        adaptive method — whose whole claim is in-run recovery —
+        failing to produce a complete output at any k.  The experiment
+        CLI turns these into a nonzero exit status.
+        """
+        problems: List[str] = []
+        for method, by_k in self.cells.items():
+            for k, cell in by_k.items():
+                clean = cell.get("completed", 1.0)
+                if clean >= 1.0:
+                    continue
+                if k == 0:
+                    problems.append(
+                        f"{method} @ k=0 absorbed an aborted partial "
+                        f"result ({100 * clean:.0f}% of runs clean) "
+                        "with no faults injected"
+                    )
+                elif method == "adaptive":
+                    problems.append(
+                        f"adaptive @ k={k} failed to recover in-run "
+                        f"({100 * clean:.0f}% of runs clean; durable "
+                        f"{100 * cell.get('durable_frac', 0.0):.1f}%)"
+                    )
+        return problems
+
     def to_dict(self) -> Dict:
         return {
             "preset": {k: float(v) for k, v in self.preset.items()},
@@ -374,6 +405,7 @@ def run(scale: "Scale | str" = Scale.SMALL,
                 ),
                 n_samples,
                 base_seed,
+                label=f"resilience[{method},k={k}]",
             )
             keys = samples[0].keys()
             result.cells[method][k] = {
@@ -392,6 +424,7 @@ def run(scale: "Scale | str" = Scale.SMALL,
             ),
             n_samples,
             base_seed,
+            label=f"resilience.integrity[{method}]",
         )
         keys = samples[0].keys()
         result.integrity[method] = {

@@ -180,18 +180,22 @@ def run(scale: "Scale | str" = Scale.SMALL, base_seed: int = 0) -> Table1Result:
     n = n_samples_override(preset["n_samples"])
     result = Table1Result()
     result.bandwidths["jaguar"] = run_samples(
-        partial(_probe_jaguar, n_osts=preset["jaguar_osts"]), n, base_seed
+        partial(_probe_jaguar, n_osts=preset["jaguar_osts"]), n, base_seed,
+        label="table1[jaguar]",
     )
     result.bandwidths["franklin"] = run_samples(
         partial(_probe_franklin, n_osts=preset["franklin_osts"]),
         n,
         base_seed + 1,
+        label="table1[franklin]",
     )
     xtp_n = max(4, n // 4)  # XTP was probed less often in the paper too
     result.bandwidths["xtp_with_int"] = run_samples(
-        partial(_probe_xtp, with_interference=True), xtp_n, base_seed + 2
+        partial(_probe_xtp, with_interference=True), xtp_n, base_seed + 2,
+        label="table1[xtp+int]",
     )
     result.bandwidths["xtp_without_int"] = run_samples(
-        partial(_probe_xtp, with_interference=False), xtp_n, base_seed + 3
+        partial(_probe_xtp, with_interference=False), xtp_n, base_seed + 3,
+        label="table1[xtp-int]",
     )
     return result

@@ -3,44 +3,55 @@
 Every figure in the paper is a sweep (writer counts x transports x
 interference conditions x samples), and every sample is an independent
 simulation fully determined by its derived seed — embarrassingly
-parallel work that the serial harness used to grind through one run at
-a time.  This module fans samples out over a ``ProcessPoolExecutor``
-while keeping the results **bit-for-bit identical** to serial
+parallel work.  This module decomposes a sweep into jobs and hands
+them to the :mod:`repro.service` scheduler (supervised worker shards,
+per-job timeouts, capped retries, dead-worker adoption, checkpointed
+journal), while keeping results **bit-for-bit identical** to serial
 execution:
 
 * the per-sample seed derivation is exactly
   :func:`repro.harness.experiment.sample_seed` — the same integers in
   the same order;
 * results are returned in submission order regardless of completion
-  order;
+  order, retries, or worker deaths;
 * each sample builds its own machine from its seed (that was already
-  the contract), so no state crosses process boundaries.
+  the contract), so no state crosses process boundaries;
+* a resumed sweep restores completed jobs from the journal (the
+  pickled originals) and recomputes only the rest from their
+  pre-derived seeds, so crash/resume preserves the same contract.
 
 Job count resolution, in priority order: the explicit ``jobs``
 argument, the ``REPRO_JOBS`` environment variable (``0`` means "all
 cores"), else serial.  ``--jobs N`` on ``repro.tools.experiment`` and
 on the benchmark suite sets ``REPRO_JOBS`` for everything below it.
 
-Tracing still works: when a process-wide tracer is active (see
-:func:`repro.harness.experiment.trace_to`), each worker runs its
-sample under a fresh tracer and ships the recorded events back; the
-parent absorbs them in sample order with
-:meth:`repro.trace.Tracer.absorb`, which assigns each worker run a
-fresh run index — the same multi-run prefixing the Chrome exporter
-already uses for serial sweeps.
+Checkpointing engages when a journal state directory is active:
+either ``REPRO_JOURNAL=DIR`` in the environment (set by ``--journal``
+on the experiment CLI and benchmark suite, and by ``repro.tools.serve``)
+or an explicit :func:`repro.harness.experiment.checkpoint_to` block.
+With a journal active even serial execution routes through the
+scheduler so every completed cell survives a crash.  ``REPRO_JOB_TIMEOUT``
+(seconds) and ``REPRO_JOB_RETRIES`` tune the per-job wall-clock budget
+and the retry cap for crashed/hung workers.
 
-Telemetry mirrors tracing: when a process-wide metrics registry is
-active (see :func:`repro.harness.experiment.metrics_to`), each worker
-collects into a fresh registry and ships a snapshot back; the parent
-absorbs snapshots in sample order with
-:meth:`repro.telemetry.MetricsRegistry.absorb`, re-basing worker run
-indices so per-run series stay distinguishable.
+Tracing and telemetry work as before: when a process-wide tracer or
+metrics registry is active, each job runs under fresh instrumentation
+and the parent absorbs the buffers in submission order
+(:meth:`repro.trace.Tracer.absorb` /
+:meth:`repro.telemetry.MetricsRegistry.absorb`).  Instrumentation
+buffers are journaled alongside results, so a resumed traced sweep is
+traced like an uninterrupted one.
 
 Functions submitted to the pool must be picklable (module-level
 functions or :func:`functools.partial` over them — not closures).  A
-non-picklable function falls back to serial execution with a
-``RuntimeWarning`` so a sweep never breaks, it just stops being
-parallel.
+non-picklable function falls back to plain serial execution (no pool,
+no journal) with a ``RuntimeWarning`` so a sweep never breaks, it just
+stops being parallel and resumable.
+
+A job that raises in its worker fails the sweep with a
+:class:`~repro.errors.JobFailure` naming the cell label and
+``sample_seed`` plus a ready-to-paste reproduction one-liner — a
+worker failure is never an anonymous ``BrokenProcessPool``.
 """
 
 from __future__ import annotations
@@ -76,66 +87,52 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _invoke(fn: Callable[[T], U], arg: T, want_trace: bool,
-            want_metrics: bool = False):
-    """Worker-side wrapper: run one sample, optionally instrumented.
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
 
-    Returns ``(result, events, metrics)`` where *events* is the worker
-    tracer's buffer and *metrics* a worker registry snapshot (either is
-    None when that instrumentation is off).  Runs in the pool worker; a
-    fork-started worker may have inherited the parent's active tracer
-    or registry, whose recordings would land in a lost copy — so both
-    are always overridden here, one way or the other.
-    """
-    from repro.telemetry import MetricsRegistry, collecting
-    from repro.telemetry.registry import set_active_registry
-    from repro.trace import Tracer, tracing
-    from repro.trace.tracer import set_active_tracer
 
-    if want_metrics:
-        reg = MetricsRegistry()
-        ctx = collecting(reg)
-    else:
-        reg = None
-        set_active_registry(None)
-        ctx = None
-    if want_trace:
-        t = Tracer()
-        with tracing(t):
-            if ctx is not None:
-                with ctx:
-                    result = fn(arg)
-            else:
-                result = fn(arg)
-        return result, t.events, reg.snapshot() if reg else None
-    set_active_tracer(None)
-    if ctx is not None:
-        with ctx:
-            result = fn(arg)
-    else:
-        result = fn(arg)
-    return result, None, reg.snapshot() if reg else None
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
 
 
 def parallel_map(
     fn: Callable[[T], U],
     items: Sequence[T],
     jobs: Optional[int] = None,
+    label: Optional[str] = None,
 ) -> List[U]:
-    """``[fn(x) for x in items]``, fanned out over worker processes.
+    """``[fn(x) for x in items]``, scheduled over worker shards.
 
     Order-stable: result *i* corresponds to ``items[i]`` no matter
-    which worker finished first.  With ``jobs == 1`` (the default when
-    ``REPRO_JOBS`` is unset) no pool is created and this *is* the list
-    comprehension.  A non-picklable *fn* (closure, lambda, bound local)
-    triggers a serial fallback with a ``RuntimeWarning``.
+    which worker finished first (or died and had its job adopted).
+    With ``jobs == 1`` (the default when ``REPRO_JOBS`` is unset) and
+    no active journal, no scheduler is created and this *is* the list
+    comprehension.  A non-picklable *fn* (closure, lambda, bound
+    local) triggers a plain serial fallback with a ``RuntimeWarning``.
+
+    *label* names the sweep cell in journals, progress output, and
+    failure messages (falling back to the function's qualified name).
     """
-    from repro.telemetry.registry import get_active_registry
-    from repro.trace.tracer import get_active_tracer
+    from repro.service.journal import get_active_state_dir
 
     n_jobs = resolve_jobs(jobs)
     items = list(items)
-    if n_jobs <= 1 or len(items) <= 1:
+    state_dir = get_active_state_dir()
+    if state_dir is None and (n_jobs <= 1 or len(items) <= 1):
         return [fn(x) for x in items]
 
     try:
@@ -144,32 +141,36 @@ def parallel_map(
         warnings.warn(
             f"parallel_map: {fn!r} is not picklable ({exc}); "
             "running serially.  Pass a module-level function or a "
-            "functools.partial over one to enable process parallelism.",
+            "functools.partial over one to enable process parallelism "
+            "and journal checkpointing.",
             RuntimeWarning,
             stacklevel=2,
         )
         return [fn(x) for x in items]
 
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.service.job import describe_fn, make_job
+    from repro.service.journal import journal_in
+    from repro.service.scheduler import Scheduler, get_progress_hook
 
-    tracer = get_active_tracer()
-    want_trace = tracer is not None and tracer.enabled
-    registry = get_active_registry()
-    want_metrics = registry is not None and registry.enabled
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
-        futures = [
-            pool.submit(_invoke, fn, x, want_trace, want_metrics)
-            for x in items
-        ]
-        out: List[U] = []
-        for fut in futures:  # submission order == item order
-            result, events, metrics = fut.result()
-            if want_trace and events:
-                tracer.absorb(events)
-            if want_metrics and metrics is not None:
-                registry.absorb(metrics)
-            out.append(result)
-    return out
+    base_label = label if label is not None else describe_fn(fn)[0]
+    specs = [
+        make_job(fn, x, label=base_label, index=i)
+        for i, x in enumerate(items)
+    ]
+    policy = None
+    retries = _env_int("REPRO_JOB_RETRIES")
+    if retries is not None:
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(max_retries=retries)
+    scheduler = Scheduler(
+        n_workers=n_jobs,
+        policy=policy,
+        job_timeout=_env_float("REPRO_JOB_TIMEOUT"),
+        journal=journal_in(state_dir) if state_dir else None,
+        progress=get_progress_hook(),
+    )
+    return scheduler.run(specs, label=base_label)
 
 
 def run_samples(
@@ -177,13 +178,14 @@ def run_samples(
     n_samples: int,
     base_seed: int = 0,
     jobs: Optional[int] = None,
+    label: Optional[str] = None,
 ) -> List[T]:
     """Run ``fn(seed)`` for each of *n_samples* derived seeds.
 
-    The parallel twin of the serial harness entry point: seeds come
+    The scheduled twin of the serial harness entry point: seeds come
     from :func:`repro.harness.experiment.sample_seed` (identical
     integers in identical order) and the output list is ordered by
-    sample index, so serial and parallel execution are
+    sample index, so serial, parallel, and crash-resumed execution are
     indistinguishable from the results.
     """
     from repro.harness.experiment import sample_seed
@@ -191,4 +193,4 @@ def run_samples(
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
     seeds = [sample_seed(base_seed, i) for i in range(n_samples)]
-    return parallel_map(fn, seeds, jobs=jobs)
+    return parallel_map(fn, seeds, jobs=jobs, label=label)

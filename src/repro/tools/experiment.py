@@ -4,7 +4,18 @@ Usage::
 
     python -m repro.tools.experiment fig1 --scale small --seed 0
     python -m repro.tools.experiment table1 --scale paper
-    python -m repro.tools.experiment all --scale smoke
+    python -m repro.tools.experiment all --scale smoke --fail-fast
+
+Exit status is nonzero when any cell fails: a raised error in a sweep
+cell (reported with the cell's label and ``sample_seed`` so it can be
+reproduced with a one-liner) **or** a rendered-but-degraded artifact —
+a result whose ``failure_report()`` names cells that absorbed a
+``TransportError``-aborted partial output.  ``--fail-fast`` stops at
+the first failing artifact instead of rendering the rest.
+
+``--journal DIR`` checkpoints every completed cell to an append-only
+journal; rerunning the same command resumes from it (see DESIGN.md
+§14 and ``python -m repro.tools.serve`` for the daemon form).
 """
 
 from __future__ import annotations
@@ -16,57 +27,59 @@ from typing import Callable, Dict
 
 from repro.harness.experiment import Scale
 
-__all__ = ["main", "ARTIFACTS"]
+__all__ = ["main", "ARTIFACTS", "artifact_failures"]
 
 
 def _fig1(scale, seed):
     from repro.harness.figures import fig1
 
-    return fig1.run(scale, seed).render()
+    return fig1.run(scale, seed)
 
 
 def _table1(scale, seed):
     from repro.harness.figures import table1
 
-    return table1.run(scale, seed).render()
+    return table1.run(scale, seed)
 
 
 def _fig2(scale, seed):
     from repro.harness.figures import fig2
 
-    return fig2.run(scale, seed).render()
+    return fig2.run(scale, seed)
 
 
 def _fig3(scale, seed):
     from repro.harness.figures import fig3
 
-    return fig3.run(scale, seed).render()
+    return fig3.run(scale, seed)
 
 
 def _fig5(scale, seed):
     from repro.harness.figures import fig5
 
-    return fig5.run(scale, seed).render()
+    return fig5.run(scale, seed)
 
 
 def _fig6(scale, seed):
     from repro.harness.figures import fig6
 
-    return fig6.run(scale, seed).render()
+    return fig6.run(scale, seed)
 
 
 def _fig7(scale, seed):
     from repro.harness.figures import fig7
 
-    return fig7.run(scale, seed).render()
+    return fig7.run(scale, seed)
 
 
 def _resilience(scale, seed):
     from repro.harness.figures import resilience
 
-    return resilience.run(scale, seed).render()
+    return resilience.run(scale, seed)
 
 
+#: name -> callable returning the artifact's *result object* (render
+#: with ``.render()``; machine-readable payload via ``.to_dict()``).
 ARTIFACTS: Dict[str, Callable] = {
     "fig1": _fig1,
     "table1": _table1,
@@ -77,6 +90,20 @@ ARTIFACTS: Dict[str, Callable] = {
     "fig7": _fig7,
     "resilience": _resilience,
 }
+
+
+def artifact_failures(result) -> list:
+    """Failure strings a rendered result self-reports (else empty).
+
+    Results may expose ``failure_report() -> list[str]`` naming cells
+    that only *look* complete — e.g. a method that absorbed a
+    ``TransportError`` partial output into its table.  Absence of the
+    protocol means nothing to report.
+    """
+    report = getattr(result, "failure_report", None)
+    if not callable(report):
+        return []
+    return [str(x) for x in report()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
         "to serial runs",
     )
     parser.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="checkpoint every completed sweep cell to DIR (append-only "
+        "JSON-lines journal; rerunning the same command resumes from "
+        "it, bit-identically.  Equivalent to setting REPRO_JOURNAL)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop at the first failing artifact instead of rendering "
+        "the remaining ones (exit status is nonzero on any failure "
+        "either way)",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="export a Chrome trace-event JSON of every simulation "
         "run (open in Perfetto; summarize with repro.tools.trace)",
@@ -137,6 +176,10 @@ def main(argv=None) -> int:
         import os
 
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.journal is not None:
+        import os
+
+        os.environ["REPRO_JOURNAL"] = args.journal
     if args.faults is not None:
         # Same propagation trick: machine builds (local and in worker
         # processes) resolve REPRO_FAULTS when no explicit plan is set.
@@ -148,14 +191,35 @@ def main(argv=None) -> int:
         os.environ["REPRO_FAULTS"] = args.faults
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
 
+    failures = []
+
     def run_all() -> None:
         for name in names:
             start = time.time()
-            text = ARTIFACTS[name](Scale.parse(args.scale), args.seed)
+            try:
+                result = ARTIFACTS[name](Scale.parse(args.scale), args.seed)
+            except Exception as exc:
+                failures.append(f"{name}: {exc}")
+                print(f"[{name} @ {args.scale}, seed {args.seed}: "
+                      f"FAILED]\n{exc}\n", file=sys.stderr)
+                if args.fail_fast:
+                    return
+                continue
             elapsed = time.time() - start
-            print(text)
+            print(result.render())
             print(f"\n[{name} @ {args.scale}, seed {args.seed}: "
                   f"{elapsed:.1f}s wall]\n")
+            degraded = artifact_failures(result)
+            if degraded:
+                failures.extend(f"{name}: {d}" for d in degraded)
+                print(
+                    f"[{name}: {len(degraded)} cell(s) absorbed a "
+                    "partial/aborted result:]\n  "
+                    + "\n  ".join(degraded),
+                    file=sys.stderr,
+                )
+                if args.fail_fast:
+                    return
 
     from contextlib import ExitStack
 
@@ -176,6 +240,9 @@ def main(argv=None) -> int:
     if registry is not None:
         print(f"[metrics: {len(registry)} instruments over "
               f"{registry.n_runs} run(s) -> {args.metrics}]")
+    if failures:
+        print(f"[{len(failures)} failure(s)]", file=sys.stderr)
+        return 1
     return 0
 
 
