@@ -1,0 +1,54 @@
+"""Multi-tenant QoS sweep — bandwidth contracts vs raw fair sharing.
+
+N tenants with mixed SLOs (reserved-floor victims + a ceiling-capped
+scavenger aggressor) share one fabric.  The QoS control plane must beat
+the no-contract baseline on both victim p99 completion latency and the
+floor-normalized Jain fairness index, degrade the aggressor gracefully
+(zero errored writes, every throttled byte ledgered), and hold the
+contracts through mid-run OST fail-stops.
+"""
+
+import pytest
+
+from repro.harness.figures import qos
+
+
+@pytest.mark.benchmark(group="qos")
+def test_qos(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: qos.run(scale, 0), rounds=1, iterations=1
+    )
+    save_result(
+        "qos",
+        result.render(),
+        data=result.to_dict(),
+    )
+    for n in result.tenant_counts:
+        base = result.cells[n]["base"]
+        quo = result.cells[n]["qos"]
+        assert quo["victim_p99_seconds"] < base["victim_p99_seconds"], (
+            f"N={n}: QoS must strictly improve the victims' p99 tail"
+        )
+        assert quo["jain_index"] >= base["jain_index"], (
+            f"N={n}: QoS must not lose floor-normalized fairness"
+        )
+        assert quo["errored_tenants"] == 0, (
+            f"N={n}: over-contract tenants must be backpressured, "
+            "never errored"
+        )
+        assert quo["throttled_gb"] > 0, (
+            f"N={n}: the aggressor must actually be throttled, and the "
+            "throttled bytes ledgered"
+        )
+    fault = result.fault_check
+    assert fault, "the largest-N cell must run the fault cross-check"
+    assert fault["fault_starved_tenants"] == 0, (
+        "no tenant may starve under mid-run OST failure"
+    )
+    assert fault["fault_errored_tenants"] == 0, (
+        "tenants must recover in-run under QoS, not error out"
+    )
+    assert fault["fault_max_slowdown"] <= qos._FAULT_SLOWDOWN_TOL, (
+        "contracts must hold within tolerance through OST fail-stops"
+    )
+    assert not result.failure_report()

@@ -51,7 +51,12 @@ from repro.core.messages import (
     WriterRelease,
     WriteStart,
 )
-from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.core.transports.base import (
+    OutputResult,
+    Transport,
+    TransportRun,
+    WriterTiming,
+)
 from repro.errors import (
     OstFailedError,
     ProtocolError,
@@ -122,7 +127,7 @@ class _GroupStream:
         "env", "fs", "f", "ost", "g", "src_node", "nbytes", "t_open",
         "hop", "build", "machine", "app", "timings", "tracer", "traced",
         "notify", "pending", "finished", "_done", "_seg_start", "_fid",
-        "_timer", "_lanes", "_next_lane", "_lane_start",
+        "_timer", "_lanes", "_next_lane", "_lane_start", "tenant",
     )
 
     def __init__(
@@ -170,6 +175,7 @@ class _GroupStream:
         self._lanes = lanes
         self._next_lane = 0  # next member index to get a lane (lanes > 1)
         self._lane_start = {}
+        self.tenant = getattr(machine, "tenant", -1)
 
     # -- lifecycle ---------------------------------------------------------
     def begin(self) -> None:
@@ -185,7 +191,7 @@ class _GroupStream:
             return
         total = len(self.pending) * self.nbytes
         ev, fid = self.fs.fabric.start_flow_with_id(
-            self.src_node, self.ost, total
+            self.src_node, self.ost, total, tenant=self.tenant
         )
         self._fid = fid
         ev.add_callback(self._on_flow_done)
@@ -291,7 +297,8 @@ class _GroupStream:
         rank = self.pending[k]
         self._lane_start[k] = self.env.now
         ev = self.fs.fabric.start_flow(
-            self.machine.node_of(rank), self.ost, self.nbytes
+            self.machine.node_of(rank), self.ost, self.nbytes,
+            tenant=self.tenant,
         )
         ev.add_callback(lambda _ev, _k=k: self._on_lane_done(_k))
 
@@ -427,18 +434,19 @@ class AdaptiveTransport(Transport):
         return True
 
     # -- the run ----------------------------------------------------------
-    def run(
+    def launch(
         self,
         machine: "Machine",
         app: "AppKernel",
         output_name: str = "output",
-    ) -> OutputResult:
+    ) -> TransportRun:
         if machine.faults is not None:
-            return self._run_faulted(machine, app, output_name)
+            return self._launch_faulted(machine, app, output_name)
         env = machine.env
         fs = machine.fs
         self._watch_fabric(machine)
         n_ranks = machine.n_ranks
+        tenant = getattr(machine, "tenant", -1)
         n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
         if not 1 <= n_groups <= machine.n_osts:
             raise ValueError(
@@ -548,6 +556,7 @@ class AdaptiveTransport(Transport):
                 nbytes=nbytes,
                 writer=rank,
                 blocks=app.data_blocks(rank, offset),
+                tenant=tenant,
             )
             end = env.now
             if traced:
@@ -641,6 +650,7 @@ class AdaptiveTransport(Transport):
                 nbytes=local_index.serialized_bytes,
                 writer=me,
                 payload=("local_index", entries),
+                tenant=tenant,
             )
             comm.send(
                 me,
@@ -1017,6 +1027,7 @@ class AdaptiveTransport(Transport):
                 nbytes=global_index.serialized_bytes,
                 writer=coord,
                 payload=("global_index", global_index),
+                tenant=tenant,
             )
             files[-1] = gi_file
             phase["write_end"] = env.now
@@ -1070,41 +1081,45 @@ class AdaptiveTransport(Transport):
             return t0
 
         done = env.process(main(), name="adaptive.main")
-        env.run(until=done)
-        t0 = done.value
 
-        result = OutputResult(
-            transport=self.name,
-            n_writers=n_ranks,
-            total_bytes=nbytes * n_ranks,
-            open_time=phase["open_end"] - t0,
-            write_time=phase["write_end"] - phase["open_end"],
-            flush_time=phase["flush_end"] - phase["flush_start"],
-            close_time=phase["close_end"] - phase["flush_end"],
-            per_writer=[t for t in timings if t is not None],
-            files=sorted(
-                f"/{output_name}.bp.dir/{g:04d}.bp" for g in range(n_groups)
+        def collect() -> OutputResult:
+            t0 = done.value
+
+            result = OutputResult(
+                transport=self.name,
+                n_writers=n_ranks,
+                total_bytes=nbytes * n_ranks,
+                open_time=phase["open_end"] - t0,
+                write_time=phase["write_end"] - phase["open_end"],
+                flush_time=phase["flush_end"] - phase["flush_start"],
+                close_time=phase["close_end"] - phase["flush_end"],
+                per_writer=[t for t in timings if t is not None],
+                files=sorted(
+                    f"/{output_name}.bp.dir/{g:04d}.bp"
+                    for g in range(n_groups)
+                )
+                + [global_index_path],
+                index=global_index,
+                n_adaptive_writes=stats["adaptive_writes"],
+                messages_sent=comm.messages_sent,
+                coordinator_messages=comm.messages_by_rank.get(coord, 0),
+                extra={
+                    "n_groups": float(n_groups),
+                    "busy_bounces": float(stats["busy_bounces"]),
+                },
             )
-            + [global_index_path],
-            index=global_index,
-            n_adaptive_writes=stats["adaptive_writes"],
-            messages_sent=comm.messages_sent,
-            coordinator_messages=comm.messages_by_rank.get(coord, 0),
-            extra={
-                "n_groups": float(n_groups),
-                "busy_bounces": float(stats["busy_bounces"]),
-            },
-        )
-        return self._finish(machine, result)
+            return self._finish(machine, result)
+
+        return TransportRun(done=done, collect=collect)
 
     # -- the fault-hardened run --------------------------------------------
-    def _run_faulted(
+    def _launch_faulted(
         self,
         machine: "Machine",
         app: "AppKernel",
         output_name: str = "output",
-    ) -> OutputResult:
-        """Fault-tolerant variant of :meth:`run` (``machine.faults`` set).
+    ) -> TransportRun:
+        """Fault-tolerant variant of :meth:`launch` (``machine.faults`` set).
 
         Same protocol, hardened:
 
@@ -1136,6 +1151,7 @@ class AdaptiveTransport(Transport):
         faults = machine.faults
         policy = faults.policy
         n_ranks = machine.n_ranks
+        tenant = getattr(machine, "tenant", -1)
         n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
         if not 1 <= n_groups <= machine.n_osts:
             raise ValueError(
@@ -1248,6 +1264,7 @@ class AdaptiveTransport(Transport):
                             writer=rank,
                             timeout=policy.write_timeout,
                             blocks=data_blocks,
+                            tenant=tenant,
                         )
                     except OstFailedError as exc:
                         if traced:
@@ -1610,6 +1627,7 @@ class AdaptiveTransport(Transport):
                     writer=me,
                     payload=("local_index", entries),
                     timeout=policy.write_timeout,
+                    tenant=tenant,
                 )
             except (OstFailedError, WriteTimeout) as exc:
                 index_failures.append(g)
@@ -1832,6 +1850,7 @@ class AdaptiveTransport(Transport):
                     writer=coord,
                     payload=("global_index", global_index),
                     timeout=policy.write_timeout,
+                    tenant=tenant,
                 )
             except (OstFailedError, WriteTimeout):
                 index_failures.append(-1)
@@ -1972,95 +1991,102 @@ class AdaptiveTransport(Transport):
             return t0
 
         done = env.process(main(), name="adaptive.main")
-        env.run(until=done)
-        t0 = done.value
 
-        durable_ranks: set = set()
-        for g in range(n_groups):
-            durable_ranks |= done_sets[g]
-        total = nbytes * n_ranks
-        bytes_durable = nbytes * len(durable_ranks)
-        bytes_lost = total - bytes_durable
+        def collect() -> OutputResult:
+            t0 = done.value
 
-        open_end = phase.get("open_end", t0)
-        write_end = phase.get("write_end", open_end)
-        flush_start = phase.get("flush_start", write_end)
-        flush_end = phase.get("flush_end", flush_start)
-        close_end = phase.get("close_end", flush_end)
-        # Corruption surviving in the *current* incarnations, after all
-        # verify-rewrites.  Informational for adaptive (`ok` is about
-        # durability; detection is the scrub's job), load-bearing for
-        # the statics' error accounting.
-        bytes_corrupt = 0.0
-        for g in range(n_groups):
-            f = files_at.get((g, epoch_of[g]))
-            if f is None:
-                continue
-            for blk in f.stored_blocks():
-                if blk.corrupt or blk.torn:
-                    bytes_corrupt += blk.nbytes
-        fault_extra = {
-            "n_groups": float(n_groups),
-            "busy_bounces": float(stats["busy_bounces"]),
-            "fault_retries": float(stats["retries"]),
-            "fault_aborts": float(stats["aborts"]),
-            "sc_relocations": float(stats["relocations"]),
-            "sc_adoptions": float(stats["adoptions"]),
-            "verify_failures": float(stats["verify_failures"]),
-            "bytes_durable": bytes_durable,
-            "bytes_lost": bytes_lost,
-            "bytes_corrupt": bytes_corrupt,
-        }
-        fault_extra.update(faults.summary())
-        result = OutputResult(
-            transport=self.name,
-            n_writers=n_ranks,
-            total_bytes=total,
-            open_time=open_end - t0,
-            write_time=write_end - open_end,
-            flush_time=flush_end - flush_start,
-            close_time=close_end - flush_end,
-            per_writer=[t for t in timings if t is not None],
-            files=sorted(
-                paths_at.get((g, epoch_of[g]),
-                             f"/{output_name}.bp.dir/{g:04d}.bp")
-                for g in range(n_groups)
+            durable_ranks: set = set()
+            for g in range(n_groups):
+                durable_ranks |= done_sets[g]
+            total = nbytes * n_ranks
+            bytes_durable = nbytes * len(durable_ranks)
+            bytes_lost = total - bytes_durable
+
+            open_end = phase.get("open_end", t0)
+            write_end = phase.get("write_end", open_end)
+            flush_start = phase.get("flush_start", write_end)
+            flush_end = phase.get("flush_end", flush_start)
+            close_end = phase.get("close_end", flush_end)
+            # Corruption surviving in the *current* incarnations, after
+            # all verify-rewrites.  Informational for adaptive (`ok` is
+            # about durability; detection is the scrub's job),
+            # load-bearing for the statics' error accounting.
+            bytes_corrupt = 0.0
+            for g in range(n_groups):
+                f = files_at.get((g, epoch_of[g]))
+                if f is None:
+                    continue
+                for blk in f.stored_blocks():
+                    if blk.corrupt or blk.torn:
+                        bytes_corrupt += blk.nbytes
+            fault_extra = {
+                "n_groups": float(n_groups),
+                "busy_bounces": float(stats["busy_bounces"]),
+                "fault_retries": float(stats["retries"]),
+                "fault_aborts": float(stats["aborts"]),
+                "sc_relocations": float(stats["relocations"]),
+                "sc_adoptions": float(stats["adoptions"]),
+                "verify_failures": float(stats["verify_failures"]),
+                "bytes_durable": bytes_durable,
+                "bytes_lost": bytes_lost,
+                "bytes_corrupt": bytes_corrupt,
+            }
+            fault_extra.update(faults.summary())
+            result = OutputResult(
+                transport=self.name,
+                n_writers=n_ranks,
+                total_bytes=total,
+                open_time=open_end - t0,
+                write_time=write_end - open_end,
+                flush_time=flush_end - flush_start,
+                close_time=close_end - flush_end,
+                per_writer=[t for t in timings if t is not None],
+                files=sorted(
+                    paths_at.get((g, epoch_of[g]),
+                                 f"/{output_name}.bp.dir/{g:04d}.bp")
+                    for g in range(n_groups)
+                )
+                + [global_index_path],
+                index=global_index,
+                n_adaptive_writes=stats["adaptive_writes"],
+                messages_sent=comm.messages_sent,
+                coordinator_messages=comm.messages_by_rank.get(coord, 0),
+                extra=fault_extra,
             )
-            + [global_index_path],
-            index=global_index,
-            n_adaptive_writes=stats["adaptive_writes"],
-            messages_sent=comm.messages_sent,
-            coordinator_messages=comm.messages_by_rank.get(coord, 0),
-            extra=fault_extra,
-        )
-        ok = (
-            not run_flags["timed_out"]
-            and not flush_failures
-            and not index_failures
-            and len(durable_ranks) == n_ranks
-        )
-        if ok:
-            return self._finish(machine, result)
-        if traced:
-            tracer.close_open_spans()
-        reasons = []
-        if run_flags["timed_out"]:
-            reasons.append(f"run timeout ({policy.run_timeout:g}s) hit")
-        if faults.crashed_ranks:
-            reasons.append(f"{len(faults.crashed_ranks)} rank(s) crashed")
-        if len(durable_ranks) < n_ranks:
-            reasons.append(
-                f"{n_ranks - len(durable_ranks)} writer(s) not durable"
+            ok = (
+                not run_flags["timed_out"]
+                and not flush_failures
+                and not index_failures
+                and len(durable_ranks) == n_ranks
             )
-        if flush_failures:
-            reasons.append(f"{len(flush_failures)} flush failure(s)")
-        if index_failures:
-            reasons.append(f"{len(index_failures)} index write failure(s)")
-        raise TransportError(
-            "adaptive output did not complete cleanly: "
-            + "; ".join(reasons),
-            bytes_durable=bytes_durable,
-            bytes_lost=bytes_lost,
-            partial=result,
-            bytes_corrupt=bytes_corrupt,
-        )
+            if ok:
+                return self._finish(machine, result)
+            if traced:
+                tracer.close_open_spans()
+            reasons = []
+            if run_flags["timed_out"]:
+                reasons.append(f"run timeout ({policy.run_timeout:g}s) hit")
+            if faults.crashed_ranks:
+                reasons.append(
+                    f"{len(faults.crashed_ranks)} rank(s) crashed"
+                )
+            if len(durable_ranks) < n_ranks:
+                reasons.append(
+                    f"{n_ranks - len(durable_ranks)} writer(s) not durable"
+                )
+            if flush_failures:
+                reasons.append(f"{len(flush_failures)} flush failure(s)")
+            if index_failures:
+                reasons.append(
+                    f"{len(index_failures)} index write failure(s)"
+                )
+            raise TransportError(
+                "adaptive output did not complete cleanly: "
+                + "; ".join(reasons),
+                bytes_durable=bytes_durable,
+                bytes_lost=bytes_lost,
+                partial=result,
+                bytes_corrupt=bytes_corrupt,
+            )
+
+        return TransportRun(done=done, collect=collect)

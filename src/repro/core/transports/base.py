@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
     from repro.machines.base import Machine
 
-__all__ = ["StaticFaultHarness", "Transport", "OutputResult", "WriterTiming"]
+__all__ = [
+    "StaticFaultHarness",
+    "Transport",
+    "TransportRun",
+    "OutputResult",
+    "WriterTiming",
+]
 
 
 @dataclass(frozen=True)
@@ -149,6 +155,9 @@ class StaticFaultHarness:
     def __init__(self, machine: "Machine"):
         self.machine = machine
         self.faults = machine.faults
+        # Tenant id for QoS flow tagging; a plain Machine has none and
+        # stays untagged, a TenantView stamps its tenant on every write.
+        self.tenant = getattr(machine, "tenant", -1)
         self.write_failures: List[Tuple[int, str]] = []
         self.flush_failures: List[str] = []
         self.timed_out = False
@@ -184,6 +193,7 @@ class StaticFaultHarness:
             yield from fs.write(
                 f, node=node, offset=offset, nbytes=nbytes, writer=writer,
                 timeout=self.write_timeout, blocks=blocks,
+                tenant=self.tenant,
             )
         except (OstFailedError, WriteTimeout) as exc:
             self.write_failures.append((writer, str(exc)))
@@ -307,16 +317,49 @@ class StaticFaultHarness:
         )
 
 
+@dataclass
+class TransportRun:
+    """A launched-but-not-collected output operation.
+
+    ``done`` is the simulation process driving the run: the caller
+    decides when (and with whom) to drive the calendar —
+    ``env.run(until=done)`` for a solo run, or one ``all_of`` over many
+    tenants' handles for a multi-tenant run on a shared machine.
+    ``collect()`` is called after ``done`` settles; it assembles the
+    validated :class:`OutputResult` (or raises
+    :class:`~repro.errors.TransportError` with accounting, exactly as
+    :meth:`Transport.run` would).
+    """
+
+    done: object  # the simulation Process
+    collect: "Callable[[], OutputResult]"
+
+
 class Transport(abc.ABC):
     """An IO method: turns an output spec into data on the file system.
 
     Instances are stateless w.r.t. simulations: :meth:`run` may be
     called repeatedly against different machines.
+
+    Concrete transports implement :meth:`launch`, which wires the
+    operation's simulated processes into the machine's calendar and
+    returns a :class:`TransportRun` without advancing simulated time.
+    :meth:`run` is the classic blocking form — launch, drive the
+    calendar to completion, collect.  Multi-tenant harnesses call
+    :meth:`launch` directly so several transports share one calendar.
     """
 
     name: str = "base"
 
     @abc.abstractmethod
+    def launch(
+        self,
+        machine: "Machine",
+        app: "AppKernel",
+        output_name: str = "output",
+    ) -> TransportRun:
+        """Wire up one output operation; do not advance simulated time."""
+
     def run(
         self,
         machine: "Machine",
@@ -325,6 +368,9 @@ class Transport(abc.ABC):
     ) -> OutputResult:
         """Execute one full output operation; blocks the (real) caller
         until the simulated operation has completed."""
+        handle = self.launch(machine, app, output_name)
+        machine.env.run(until=handle.done)
+        return handle.collect()
 
     def _watch_fabric(self, machine: "Machine") -> None:
         """Snapshot the fabric's churn counters at run start.

@@ -33,6 +33,7 @@ from repro.core.transports.base import (
     OutputResult,
     StaticFaultHarness,
     Transport,
+    TransportRun,
     WriterTiming,
 )
 from repro.mpi.comm import SimComm
@@ -65,12 +66,12 @@ class MpiIoTransport(Transport):
         self.stripe_count = stripe_count
         self.build_index = build_index
 
-    def run(
+    def launch(
         self,
         machine: "Machine",
         app: "AppKernel",
         output_name: str = "output",
-    ) -> OutputResult:
+    ) -> TransportRun:
         env = machine.env
         fs = machine.fs
         self._watch_fabric(machine)
@@ -159,34 +160,37 @@ class MpiIoTransport(Transport):
             return t0, f
 
         done = env.process(main(), name="mpiio.main")
-        env.run(until=done)
-        t0, f = done.value
 
-        index = None
-        if self.build_index:
-            index = GlobalIndex()
-            entries = []
-            for rank in range(n_ranks):
-                if harness.active and timings[rank] is None:
-                    continue  # the rank's chunk never landed
-                entries.extend(app.index_entries(rank, rank * chunk))
-            index.add_file(path, entries)
-            f.attach_local_index(entries)
+        def collect() -> OutputResult:
+            t0, f = done.value
 
-        result = OutputResult(
-            transport=self.name,
-            n_writers=n_ranks,
-            total_bytes=chunk * n_ranks,
-            open_time=phase["open_end"] - t0,
-            write_time=phase["write_end"] - phase["open_end"],
-            flush_time=phase["flush_end"] - phase["write_end"],
-            close_time=phase["close_end"] - phase["flush_end"],
-            per_writer=[t for t in timings if t is not None],
-            files=[path],
-            index=index,
-            messages_sent=comm.messages_sent,
-            extra={"stripe_count": float(stripe_count)},
-        )
-        if harness.active:
-            return harness.finalize(self, result)
-        return self._finish(machine, result)
+            index = None
+            if self.build_index:
+                index = GlobalIndex()
+                entries = []
+                for rank in range(n_ranks):
+                    if harness.active and timings[rank] is None:
+                        continue  # the rank's chunk never landed
+                    entries.extend(app.index_entries(rank, rank * chunk))
+                index.add_file(path, entries)
+                f.attach_local_index(entries)
+
+            result = OutputResult(
+                transport=self.name,
+                n_writers=n_ranks,
+                total_bytes=chunk * n_ranks,
+                open_time=phase["open_end"] - t0,
+                write_time=phase["write_end"] - phase["open_end"],
+                flush_time=phase["flush_end"] - phase["write_end"],
+                close_time=phase["close_end"] - phase["flush_end"],
+                per_writer=[t for t in timings if t is not None],
+                files=[path],
+                index=index,
+                messages_sent=comm.messages_sent,
+                extra={"stripe_count": float(stripe_count)},
+            )
+            if harness.active:
+                return harness.finalize(self, result)
+            return self._finish(machine, result)
+
+        return TransportRun(done=done, collect=collect)

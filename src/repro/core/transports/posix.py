@@ -17,6 +17,7 @@ from repro.core.transports.base import (
     OutputResult,
     StaticFaultHarness,
     Transport,
+    TransportRun,
     WriterTiming,
 )
 
@@ -56,12 +57,12 @@ class PosixTransport(Transport):
         self.include_flush = include_flush
         self.build_index = build_index
 
-    def run(
+    def launch(
         self,
         machine: "Machine",
         app: "AppKernel",
         output_name: str = "output",
-    ) -> OutputResult:
+    ) -> TransportRun:
         env = machine.env
         fs = machine.fs
         self._watch_fabric(machine)
@@ -157,33 +158,38 @@ class PosixTransport(Transport):
             return t0
 
         done = env.process(main(), name="posix.main")
-        env.run(until=done)
-        t0 = done.value
 
-        index = None
-        if self.build_index:
-            index = GlobalIndex()
-            for rank in range(n_ranks):
-                if harness.active and timings[rank] is None:
-                    continue  # the rank's data never landed
-                entries = app.index_entries(rank, 0.0)
-                index.add_file(f"/{output_name}/rank{rank:06d}.dat", entries)
-                if rank in fobjs:
-                    fobjs[rank].attach_local_index(entries)
+        def collect() -> OutputResult:
+            t0 = done.value
 
-        open_end = phase.get("open_end", phase["write_end"])
-        result = OutputResult(
-            transport=self.name,
-            n_writers=n_ranks,
-            total_bytes=nbytes * n_ranks,
-            open_time=open_end - t0,
-            write_time=phase["write_end"] - open_end,
-            flush_time=phase["flush"],
-            close_time=phase["close"],
-            per_writer=[t for t in timings if t is not None],
-            files=sorted(files),
-            index=index,
-        )
-        if harness.active:
-            return harness.finalize(self, result)
-        return self._finish(machine, result)
+            index = None
+            if self.build_index:
+                index = GlobalIndex()
+                for rank in range(n_ranks):
+                    if harness.active and timings[rank] is None:
+                        continue  # the rank's data never landed
+                    entries = app.index_entries(rank, 0.0)
+                    index.add_file(
+                        f"/{output_name}/rank{rank:06d}.dat", entries
+                    )
+                    if rank in fobjs:
+                        fobjs[rank].attach_local_index(entries)
+
+            open_end = phase.get("open_end", phase["write_end"])
+            result = OutputResult(
+                transport=self.name,
+                n_writers=n_ranks,
+                total_bytes=nbytes * n_ranks,
+                open_time=open_end - t0,
+                write_time=phase["write_end"] - open_end,
+                flush_time=phase["flush"],
+                close_time=phase["close"],
+                per_writer=[t for t in timings if t is not None],
+                files=sorted(files),
+                index=index,
+            )
+            if harness.active:
+                return harness.finalize(self, result)
+            return self._finish(machine, result)
+
+        return TransportRun(done=done, collect=collect)

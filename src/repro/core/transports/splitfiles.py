@@ -25,6 +25,7 @@ from repro.core.transports.base import (
     OutputResult,
     StaticFaultHarness,
     Transport,
+    TransportRun,
     WriterTiming,
 )
 
@@ -54,12 +55,12 @@ class SplitFilesTransport(Transport):
         self.n_files = n_files
         self.build_index = build_index
 
-    def run(
+    def launch(
         self,
         machine: "Machine",
         app: "AppKernel",
         output_name: str = "output",
-    ) -> OutputResult:
+    ) -> TransportRun:
         env = machine.env
         fs = machine.fs
         self._watch_fabric(machine)
@@ -144,34 +145,39 @@ class SplitFilesTransport(Transport):
             return t0
 
         done = env.process(main(), name="split.main")
-        env.run(until=done)
-        t0 = done.value
 
-        index = None
-        if self.build_index:
-            index = GlobalIndex()
-            for g in range(n_files):
-                entries = []
-                for slot, rank in enumerate(groups.ranks_in(g)):
-                    if harness.active and timings[rank] is None:
-                        continue  # the rank's chunk never landed
-                    entries.extend(app.index_entries(rank, slot * chunk))
-                index.add_file(paths[g], entries)
-                files[g].attach_local_index(entries)
+        def collect() -> OutputResult:
+            t0 = done.value
 
-        result = OutputResult(
-            transport=self.name,
-            n_writers=n_ranks,
-            total_bytes=chunk * n_ranks,
-            open_time=phase["open_end"] - t0,
-            write_time=phase["write_end"] - phase["open_end"],
-            flush_time=phase["flush_end"] - phase["write_end"],
-            close_time=phase["close_end"] - phase["flush_end"],
-            per_writer=[t for t in timings if t is not None],
-            files=list(paths),
-            index=index,
-            extra={"n_files": float(n_files)},
-        )
-        if harness.active:
-            return harness.finalize(self, result)
-        return self._finish(machine, result)
+            index = None
+            if self.build_index:
+                index = GlobalIndex()
+                for g in range(n_files):
+                    entries = []
+                    for slot, rank in enumerate(groups.ranks_in(g)):
+                        if harness.active and timings[rank] is None:
+                            continue  # the rank's chunk never landed
+                        entries.extend(
+                            app.index_entries(rank, slot * chunk)
+                        )
+                    index.add_file(paths[g], entries)
+                    files[g].attach_local_index(entries)
+
+            result = OutputResult(
+                transport=self.name,
+                n_writers=n_ranks,
+                total_bytes=chunk * n_ranks,
+                open_time=phase["open_end"] - t0,
+                write_time=phase["write_end"] - phase["open_end"],
+                flush_time=phase["flush_end"] - phase["write_end"],
+                close_time=phase["close_end"] - phase["flush_end"],
+                per_writer=[t for t in timings if t is not None],
+                files=list(paths),
+                index=index,
+                extra={"n_files": float(n_files)},
+            )
+            if harness.active:
+                return harness.finalize(self, result)
+            return self._finish(machine, result)
+
+        return TransportRun(done=done, collect=collect)

@@ -22,7 +22,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.groups import GroupMap
 from repro.core.index import GlobalIndex
-from repro.core.transports.base import OutputResult, Transport, WriterTiming
+from repro.core.transports.base import (
+    OutputResult,
+    Transport,
+    TransportRun,
+    WriterTiming,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import AppKernel
@@ -60,16 +65,17 @@ class StaggerTransport(Transport):
         self.open_stagger = open_stagger
         self.build_index = build_index
 
-    def run(
+    def launch(
         self,
         machine: "Machine",
         app: "AppKernel",
         output_name: str = "output",
-    ) -> OutputResult:
+    ) -> TransportRun:
         env = machine.env
         fs = machine.fs
         self._watch_fabric(machine)
         n_ranks = machine.n_ranks
+        tenant = getattr(machine, "tenant", -1)
         n_groups = self.n_osts_used or min(machine.n_osts, n_ranks)
         if not 1 <= n_groups <= machine.n_osts:
             raise ValueError(
@@ -116,6 +122,7 @@ class StaggerTransport(Transport):
                     nbytes=nbytes,
                     writer=rank,
                     blocks=app.data_blocks(rank, offset),
+                    tenant=tenant,
                 )
                 if traced:
                     tr.end("write", cat="writer", pid=f"node/{node}",
@@ -154,34 +161,40 @@ class StaggerTransport(Transport):
             return t0
 
         done = env.process(main(), name="stagger.main")
-        env.run(until=done)
-        t0 = done.value
 
-        index = None
-        if self.build_index:
-            index = GlobalIndex()
-            for g in range(n_groups):
-                entries = []
-                offset = 0.0
-                for rank in groups.ranks_in(g):
-                    entries.extend(app.index_entries(rank, offset))
-                    offset += nbytes
-                index.add_file(f"/{output_name}.bp.dir/{g:04d}.bp", entries)
-                files[g].attach_local_index(entries)
+        def collect() -> OutputResult:
+            t0 = done.value
 
-        result = OutputResult(
-            transport=self.name,
-            n_writers=n_ranks,
-            total_bytes=nbytes * n_ranks,
-            open_time=phase["open_end"] - t0,
-            write_time=phase["write_end"] - phase["open_end"],
-            flush_time=phase["flush_end"] - phase["write_end"],
-            close_time=phase["close_end"] - phase["flush_end"],
-            per_writer=[t for t in timings if t is not None],
-            files=sorted(
-                f"/{output_name}.bp.dir/{g:04d}.bp" for g in range(n_groups)
-            ),
-            index=index,
-            extra={"n_groups": float(n_groups)},
-        )
-        return self._finish(machine, result)
+            index = None
+            if self.build_index:
+                index = GlobalIndex()
+                for g in range(n_groups):
+                    entries = []
+                    offset = 0.0
+                    for rank in groups.ranks_in(g):
+                        entries.extend(app.index_entries(rank, offset))
+                        offset += nbytes
+                    index.add_file(
+                        f"/{output_name}.bp.dir/{g:04d}.bp", entries
+                    )
+                    files[g].attach_local_index(entries)
+
+            result = OutputResult(
+                transport=self.name,
+                n_writers=n_ranks,
+                total_bytes=nbytes * n_ranks,
+                open_time=phase["open_end"] - t0,
+                write_time=phase["write_end"] - phase["open_end"],
+                flush_time=phase["flush_end"] - phase["write_end"],
+                close_time=phase["close_end"] - phase["flush_end"],
+                per_writer=[t for t in timings if t is not None],
+                files=sorted(
+                    f"/{output_name}.bp.dir/{g:04d}.bp"
+                    for g in range(n_groups)
+                ),
+                index=index,
+                extra={"n_groups": float(n_groups)},
+            )
+            return self._finish(machine, result)
+
+        return TransportRun(done=done, collect=collect)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "AdmissionError",
     "ConfigurationError",
     "FaultPlanError",
     "FileSystemError",
@@ -90,6 +91,17 @@ class IntegrityError(FileSystemError):
 
 class FaultPlanError(ConfigurationError):
     """A fault plan is malformed or references unknown targets."""
+
+
+class AdmissionError(ConfigurationError):
+    """A tenant contract set oversubscribes the guaranteed capacity.
+
+    Raised at QoS-plane installation time, never mid-run: admission
+    control is the only place a tenant is refused outright.  Once
+    admitted, a tenant over its contract is backpressured (throttled
+    toward its floor), never errored — the graceful-degradation
+    contract.
+    """
 
 
 class ProtocolError(ReproError):

@@ -46,6 +46,11 @@ class BackgroundWriterJob:
         shared Jaguar scratch system.
     source_nodes:
         Source node indices; defaults to the machine's service nodes.
+    tenant:
+        QoS tenant index stamped on every interference flow (default
+        ``-1``: untagged, outside any contract).  Tagging the
+        interferer lets the control plane attribute — and throttle —
+        the aggressor instead of treating it as weather.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class BackgroundWriterJob:
         write_size: float = 1.0 * GB,
         osts: Optional[Sequence[int]] = None,
         source_nodes: Optional[Sequence[int]] = None,
+        tenant: int = -1,
     ):
         if n_osts < 1 or writers_per_ost < 1:
             raise ValueError("n_osts and writers_per_ost must be >= 1")
@@ -90,6 +96,7 @@ class BackgroundWriterJob:
             raise ValueError(
                 f"need {n_writers} source nodes, got {len(self.source_nodes)}"
             )
+        self.tenant = int(tenant)
         self._stop = False
         self._procs = []
         self.bytes_written = 0.0
@@ -103,7 +110,9 @@ class BackgroundWriterJob:
         env = self.machine.env
         fabric = self.machine.fs.fabric
         while not self._stop:
-            yield fabric.start_flow(node, ost, self.write_size)
+            yield fabric.start_flow(
+                node, ost, self.write_size, tenant=self.tenant
+            )
             self.bytes_written += self.write_size
             self.iterations += 1
 

@@ -255,6 +255,7 @@ class FileSystem:
         payload: object = None,
         timeout: Optional[float] = None,
         blocks: Optional[Sequence[Tuple[float, float, Optional[int]]]] = None,
+        tenant: int = -1,
     ) -> Generator:
         """Write ``nbytes`` at ``offset`` from ``node``; returns WriteRecord.
 
@@ -268,6 +269,9 @@ class FileSystem:
         scrubbing and read-back verification inspect.  Blocks are
         registered only if the write completes: a failed write leaves
         no stored state, and a rewrite replaces the previous blocks.
+
+        ``tenant`` tags the write's fabric flows for the QoS control
+        plane (-1 = untagged, never rate-limited).
 
         Failure semantics: a write touching a FAILED target raises
         :class:`OstFailedError` — up front if the target is already
@@ -297,7 +301,9 @@ class FileSystem:
             events = []
             fids = []
             for ost, b in spans:
-                ev, fid = self.fabric.start_flow_with_id(node, ost, b)
+                ev, fid = self.fabric.start_flow_with_id(
+                    node, ost, b, tenant=tenant
+                )
                 if traced:
                     tid = f"writer {node if writer is None else writer}"
                     tr.begin(

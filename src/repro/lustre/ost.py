@@ -512,6 +512,20 @@ class OstPool:
     def is_full(self) -> np.ndarray:
         return self._full.copy()
 
+    def congestion_scores(self) -> np.ndarray:
+        """Per-OST congestion score in [0, 1] for the QoS controller.
+
+        A target is congested when its write-back cache is the
+        bottleneck: the score is the cache fill fraction, saturated to
+        1.0 while the hysteresis flag holds the target drain-bound.
+        Hung and failed targets score 1.0 — they serve nothing, so
+        traffic pinned to them is congested by definition.
+        """
+        score = self.cache_fill_fraction().copy()
+        score[self._full] = 1.0
+        score[self.state >= OstState.HUNG] = 1.0
+        return np.clip(score, 0.0, 1.0)
+
     def summary(self) -> Dict[str, float]:
         """Aggregate state snapshot (for logs and tests)."""
         return {

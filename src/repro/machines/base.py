@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultInjector, FaultPlan
+    from repro.qos import QosConfig
     from repro.telemetry import MetricsRegistry, OnlineMonitor
     from repro.trace.tracer import Tracer
 
@@ -67,6 +68,7 @@ class MachineSpec:
         tracer: Optional["Tracer"] = None,
         faults: Optional["FaultPlan"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        qos: Optional["QosConfig"] = None,
     ) -> "Machine":
         """Instantiate the machine for a job of ``n_ranks`` processes.
 
@@ -89,6 +91,12 @@ class MachineSpec:
         settle-hook monitor feeding it); like ``tracer`` it falls back
         to the process-wide active registry
         (``repro.telemetry.collecting``) when omitted.
+
+        ``qos`` stores a multi-tenant bandwidth-contract config on the
+        machine (``machine.qos``); when omitted the process-wide active
+        config (``repro.qos.with_qos``) or a contract file named by
+        ``REPRO_QOS`` is used.  The config is inert until a harness
+        (``repro.qos.run_tenants``) installs the control plane.
         """
         if n_ranks < 1:
             raise ConfigurationError("n_ranks must be >= 1")
@@ -165,6 +173,9 @@ class MachineSpec:
             machine.faults = FaultInjector(
                 env, fs, plan, rngs, n_ranks=n_ranks
             )
+        from repro.qos import resolve_qos_config
+
+        machine.qos = resolve_qos_config(qos)
         return machine
 
 
@@ -183,6 +194,7 @@ class Machine:
     faults: Optional["FaultInjector"] = None
     metrics: Optional["MetricsRegistry"] = None
     monitor: Optional["OnlineMonitor"] = None
+    qos: Optional["QosConfig"] = None
 
     def attach_tracer(self, tracer: "Tracer") -> None:
         """Bind a tracer to every traced layer of this machine."""

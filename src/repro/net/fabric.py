@@ -436,6 +436,7 @@ class FlowNetwork:
         self._remaining = np.zeros(cap0, dtype=np.float64)
         self._rate = np.zeros(cap0, dtype=np.float64)
         self._fcap = np.full(cap0, np.inf, dtype=np.float64)
+        self._tenant = np.full(cap0, -1, dtype=np.int64)
         self._active = np.zeros(cap0, dtype=bool)
         self._free: list[int] = list(range(cap0 - 1, -1, -1))
         self._records: Dict[int, Tuple[Event, float, float]] = {}
@@ -488,6 +489,17 @@ class FlowNetwork:
         self._watch_fids: list = []
         self._watch_slots = np.empty(0, dtype=np.intp)
         self._watch_last = np.empty(0, dtype=np.float64)
+        # QoS: per-tenant aggregate rate limits (bytes/s, indexed by
+        # tenant id) installed by the control plane, plus the byte
+        # ledgers the graceful-degradation contract reports from.  All
+        # None until :meth:`set_tenant_limits` is first called — every
+        # QoS touch point below is guarded on that, so a fabric that
+        # never sees a limit runs the exact pre-QoS code path
+        # (bit-identity when QoS is disabled).
+        self._tenant_limits: Optional[np.ndarray] = None
+        self._tenant_throttle_rate: Optional[np.ndarray] = None
+        self.tenant_served: Optional[np.ndarray] = None
+        self.tenant_throttled: Optional[np.ndarray] = None
         self.total_bytes_delivered = 0.0
         self.settle_count = 0
         self.realloc_count = 0
@@ -535,15 +547,74 @@ class FlowNetwork:
             self._settle()
         return self._inflow.copy()
 
+    @property
+    def qos_enabled(self) -> bool:
+        return self._tenant_limits is not None
+
+    def set_tenant_limits(self, limits: Optional[np.ndarray]) -> None:
+        """Install (or clear, with None) per-tenant aggregate rate caps.
+
+        ``limits[t]`` bounds the summed rate of every active flow
+        tagged with tenant ``t``; ``inf`` entries leave a tenant
+        unconstrained.  The cap composes with max-min fairness as an
+        equal per-flow split of the tenant budget, so within a tenant
+        flows stay mutually fair.  Installing limits invalidates the
+        current allocation (the skip-reallocation fast path keys on the
+        flow set and sink capacities only) and requests a settle, so a
+        limit change takes effect at the end of the current instant.
+
+        Byte ledgers (``tenant_served`` / ``tenant_throttled``)
+        accumulate across calls while the tenant count is stable; they
+        survive a ``set_tenant_limits(None)`` so post-run accounting
+        can still read them.
+        """
+        if limits is None:
+            self._tenant_limits = None
+            self._tenant_throttle_rate = None
+        else:
+            limits = np.asarray(limits, dtype=np.float64).copy()
+            if (limits < 0).any():
+                raise ValueError("tenant limits must be non-negative")
+            self._tenant_limits = limits
+            n = len(limits)
+            if self.tenant_served is None or len(self.tenant_served) != n:
+                self.tenant_served = np.zeros(n, dtype=np.float64)
+                self.tenant_throttled = np.zeros(n, dtype=np.float64)
+            self._tenant_throttle_rate = np.zeros(n, dtype=np.float64)
+        # Force the next settle through a real reallocation: the
+        # fast-path guard (_alloc_gen == _flowset_gen, caps unchanged)
+        # cannot see a limit change.
+        self._alloc_gen = -1
+        self._shares_valid = False
+        self._request_settle()
+
+    def tenant_accounting(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(served_bytes, throttled_bytes)`` per tenant, advanced to now.
+
+        ``throttled`` integrates the gap between what the uncapped
+        max-min allocation would have granted each tenant and what the
+        QoS-capped allocation did grant — the bytes backpressure
+        deferred, never errored.  Zero-length arrays before any limits
+        were installed.
+        """
+        if self.tenant_served is None:
+            return np.zeros(0), np.zeros(0)
+        if self._tenant_limits is not None:
+            self._advance_only()
+        return self.tenant_served.copy(), self.tenant_throttled.copy()
+
     def start_flow(
         self,
         source: int,
         sink: int,
         nbytes: float,
         flow_cap: Optional[float] = None,
+        tenant: int = -1,
     ) -> Event:
         """Begin a transfer; the returned event fires with a FlowStats."""
-        return self.start_flow_with_id(source, sink, nbytes, flow_cap)[0]
+        return self.start_flow_with_id(
+            source, sink, nbytes, flow_cap, tenant=tenant
+        )[0]
 
     def start_flow_with_id(
         self,
@@ -551,11 +622,14 @@ class FlowNetwork:
         sink: int,
         nbytes: float,
         flow_cap: Optional[float] = None,
+        tenant: int = -1,
     ) -> Tuple[Event, int]:
         """Like :meth:`start_flow` but also returns the flow id.
 
         Fault-aware callers keep the id so they can :meth:`cancel_flow`
-        a transfer whose deadline expired.
+        a transfer whose deadline expired.  ``tenant`` tags the flow
+        for the QoS control plane; ``-1`` (the default) means untagged
+        — never subject to a tenant limit.
         """
         if not 0 <= source < self.n_sources:
             raise IndexError(f"source {source} out of range")
@@ -579,6 +653,7 @@ class FlowNetwork:
         self._fcap[slot] = (
             self.default_flow_cap if flow_cap is None else float(flow_cap)
         )
+        self._tenant[slot] = int(tenant)
         self._active[slot] = True
         self._records[fid] = (ev, float(nbytes), self.env.now)
         self._slot_of[fid] = slot
@@ -763,6 +838,9 @@ class FlowNetwork:
                 grown = np.zeros(new, dtype=arr.dtype)
                 grown[:old] = arr
                 setattr(self, name, grown)
+            grown_tenant = np.full(new, -1, dtype=np.int64)
+            grown_tenant[:old] = self._tenant
+            self._tenant = grown_tenant
             for name, fill in (
                 ("_remaining", 0.0),
                 ("_rate", 0.0),
@@ -811,6 +889,15 @@ class FlowNetwork:
             delivered = self._rate[act] * dt
             self._remaining[act] -= delivered
             self.total_bytes_delivered += float(delivered.sum())
+            if self._tenant_limits is not None:
+                ten = self._tenant[act]
+                tagged = ten >= 0
+                if tagged.any():
+                    self.tenant_served += np.bincount(
+                        ten[tagged], weights=delivered[tagged],
+                        minlength=len(self.tenant_served),
+                    )
+                self.tenant_throttled += self._tenant_throttle_rate * dt
             self.pool.advance(dt, self._inflow, now)
         self._last_settle = now
 
@@ -865,6 +952,8 @@ class FlowNetwork:
             self._shares_valid = False
             self._dirty_sinks.clear()
             self._alloc_gen = self._flowset_gen
+            if self._tenant_throttle_rate is not None:
+                self._tenant_throttle_rate[:] = 0.0
             # capacities() is where the pool updates internal state
             # (e.g. the cache-full hysteresis flag) — it must run even
             # with no flows, or a drained cache keeps reporting an
@@ -969,6 +1058,8 @@ class FlowNetwork:
         caps: np.ndarray,
     ) -> np.ndarray:
         """Recompute the allocation — incrementally when possible."""
+        if self._tenant_limits is not None:
+            return self._reallocate_qos(act_slots, dst, counts, caps)
         rates = None
         if self._shares_valid and self._last_caps is not None:
             dirty = self._dirty_sinks
@@ -1005,6 +1096,70 @@ class FlowNetwork:
         if self.metrics is not None:
             (self._m_realloc_incr if incremental
              else self._m_realloc_batch).inc()
+        return rates
+
+    def _reallocate_qos(
+        self,
+        act_slots: np.ndarray,
+        dst: np.ndarray,
+        counts: np.ndarray,
+        caps: np.ndarray,
+    ) -> np.ndarray:
+        """Batch reallocation with per-tenant aggregate caps composed in.
+
+        A tenant's limit is split equally across its active flows and
+        composed into each flow's cap before the max-min pass, so
+        flows within a tenant stay mutually fair while the tenant's
+        aggregate never exceeds its budget.  A shadow uncapped pass
+        prices the throttling: the per-tenant rate gap between the two
+        allocations integrates (in :meth:`_advance_only`) into the
+        ``tenant_throttled`` byte ledger.  The incremental patch path
+        is bypassed entirely — tenant caps couple sinks through the
+        tenant budget, so the per-sink decomposition it relies on does
+        not hold.
+        """
+        limits = self._tenant_limits
+        n_tenants = len(limits)
+        src = self._src[act_slots]
+        fcap = self._fcap[act_slots]
+        ten = self._tenant[act_slots]
+        tagged = ten >= 0
+        uncapped, _ = _max_min_shares(
+            src, dst, self._cap_src, caps, fcap,
+            counts_src=self._src_counts, counts_dst=counts,
+        )
+        eff = fcap.copy()
+        if tagged.any():
+            tcnt = np.bincount(ten[tagged], minlength=n_tenants)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                per_flow = np.where(tcnt > 0, limits / tcnt, np.inf)
+            ten_t = ten[tagged]
+            eff[tagged] = np.minimum(fcap[tagged], per_flow[ten_t])
+            rates, _ = _max_min_shares(
+                src, dst, self._cap_src, caps, eff,
+                counts_src=self._src_counts, counts_dst=counts,
+            )
+            self._tenant_throttle_rate = np.maximum(
+                np.bincount(ten_t, weights=uncapped[tagged],
+                            minlength=n_tenants)
+                - np.bincount(ten_t, weights=rates[tagged],
+                              minlength=n_tenants),
+                0.0,
+            )
+        else:
+            rates = uncapped
+            self._tenant_throttle_rate = np.zeros(n_tenants)
+        self._rate[act_slots] = rates
+        self._inflow = np.bincount(
+            dst, weights=rates, minlength=self.n_sinks
+        )
+        self._shares_valid = False
+        self._dirty_sinks.clear()
+        self._alloc_gen = self._flowset_gen
+        self._last_caps = caps.copy()
+        self.realloc_count += 1
+        if self.metrics is not None:
+            self._m_realloc_batch.inc()
         return rates
 
     def _incremental_rates(

@@ -1,0 +1,176 @@
+"""Tenant bandwidth contracts and admission control.
+
+A *contract* reserves a bandwidth floor for a tenant and caps its
+burst ceiling.  The floor is the guaranteed part: admission control
+refuses a contract set whose floors oversubscribe the pool's
+guaranteed drain capacity, because a floor that cannot be honoured is
+a lie, not a contract.  Everything above the floor is opportunistic —
+granted while the fabric has headroom, throttled back (never errored)
+when the congestion controller detects overload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AdmissionError, ConfigurationError
+
+__all__ = ["TenantContract", "QosConfig", "check_admission"]
+
+
+@dataclass(frozen=True)
+class TenantContract:
+    """One tenant's bandwidth contract (bytes/s).
+
+    ``floor``
+        Reserved aggregate bandwidth.  The control plane never pushes
+        the tenant's limit below this, congestion or not.
+    ``ceiling``
+        Burst cap.  ``inf`` means "whatever max-min fairness grants";
+        the token buckets still meter it so idle-tenant headroom can be
+        borrowed deliberately rather than grabbed.
+    """
+
+    name: str
+    floor: float
+    ceiling: float = float("inf")
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.floor < 0:
+            raise ConfigurationError(f"{self.name}: floor must be >= 0")
+        if self.ceiling < self.floor:
+            raise ConfigurationError(
+                f"{self.name}: ceiling {self.ceiling:g} < floor "
+                f"{self.floor:g}"
+            )
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Contract set plus control-loop tuning for one QoS plane.
+
+    The defaults are deliberately conservative: a 50 ms control tick
+    (fast against the multi-second cache-fill timescale that drives
+    congestion), a half-second burst window, and textbook AIMD
+    (halve the headroom above the floor on congestion, recover ~10% of
+    it per second when quiet).
+    """
+
+    contracts: Tuple[TenantContract, ...]
+    tick: float = 0.05
+    burst_window: float = 0.5
+    congestion_threshold: float = 0.9
+    congestion_fraction: float = 0.25
+    decrease: float = 0.5
+    increase_per_s: float = 0.1
+    admission_margin: float = 0.8
+
+    def __post_init__(self):
+        if not self.contracts:
+            raise ConfigurationError("QosConfig needs at least one contract")
+        names = [c.name for c in self.contracts]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate tenant names in {names}")
+        if self.tick <= 0 or self.burst_window <= 0:
+            raise ConfigurationError("tick and burst_window must be positive")
+        if not 0.0 < self.decrease < 1.0:
+            raise ConfigurationError("decrease must be in (0, 1)")
+        if self.increase_per_s <= 0:
+            raise ConfigurationError("increase_per_s must be positive")
+        if not 0.0 < self.admission_margin <= 1.0:
+            raise ConfigurationError("admission_margin must be in (0, 1]")
+
+    @property
+    def n_tenants(self) -> int:
+        return len(self.contracts)
+
+    def floors(self) -> np.ndarray:
+        return np.array([c.floor for c in self.contracts])
+
+    def ceilings(self) -> np.ndarray:
+        return np.array([c.ceiling for c in self.contracts])
+
+    def tenant_index(self, name: str) -> int:
+        for i, c in enumerate(self.contracts):
+            if c.name == name:
+                return i
+        raise KeyError(f"unknown tenant {name!r}")
+
+    # -- (de)serialization, for the REPRO_QOS env knob -------------------
+    def to_dict(self) -> Dict:
+        return {
+            "contracts": [
+                {"name": c.name, "floor": c.floor, "ceiling": c.ceiling}
+                for c in self.contracts
+            ],
+            "tick": self.tick,
+            "burst_window": self.burst_window,
+            "congestion_threshold": self.congestion_threshold,
+            "congestion_fraction": self.congestion_fraction,
+            "decrease": self.decrease,
+            "increase_per_s": self.increase_per_s,
+            "admission_margin": self.admission_margin,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "QosConfig":
+        contracts = tuple(
+            TenantContract(
+                name=c["name"],
+                floor=float(c["floor"]),
+                ceiling=float(c.get("ceiling", float("inf"))),
+            )
+            for c in doc.get("contracts", ())
+        )
+        kwargs = {
+            k: float(doc[k])
+            for k in (
+                "tick", "burst_window", "congestion_threshold",
+                "congestion_fraction", "decrease", "increase_per_s",
+                "admission_margin",
+            )
+            if k in doc
+        }
+        return cls(contracts=contracts, **kwargs)
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load_json(cls, path: str) -> "QosConfig":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def check_admission(config: QosConfig, pool) -> float:
+    """Admit the contract set against the pool's guaranteed capacity.
+
+    The guaranteed capacity is what the drain stage can sustain on a
+    quiet system — ``n_osts * drain_peak`` scaled by the admission
+    margin (seek efficiency, external load and fault headroom eat into
+    the theoretical peak, so floors may only claim a fraction of it).
+    Raises :class:`~repro.errors.AdmissionError` on oversubscription;
+    returns the guaranteed capacity otherwise.
+    """
+    guaranteed = (
+        config.admission_margin
+        * pool.n_sinks
+        * pool.config.drain_peak
+    )
+    reserved = float(config.floors().sum())
+    if reserved > guaranteed:
+        raise AdmissionError(
+            f"tenant floors reserve {reserved:.3g} B/s but the pool "
+            f"guarantees only {guaranteed:.3g} B/s "
+            f"({pool.n_sinks} targets x {pool.config.drain_peak:.3g} B/s "
+            f"x {config.admission_margin:g} margin) — refuse at admission, "
+            f"not mid-run"
+        )
+    return guaranteed

@@ -1,0 +1,90 @@
+"""AIMD congestion controller: throttle aggressors toward their floors.
+
+The feedback loop of the control plane.  Input per tick: the OST
+pool's congestion scores (cache-fill saturation — the same signal the
+telemetry monitor exports as per-OST series) and each tenant's
+observed served/demand rates.  Output: a per-tenant *allowance*
+between floor and ceiling.
+
+Dynamics are textbook AIMD, applied to the headroom above the floor:
+
+* **congested** → every tenant serving above its floor while holding
+  real demand (an *aggressor*) has its headroom multiplicatively
+  decreased: ``allow = floor + (allow - floor) * decrease``.  Tenants
+  at or under their floor — the victims — are never touched, which is
+  what bounds their tail latency.
+* **quiet** → allowances recover additively toward the ceiling at
+  ``increase_per_s`` of the floor-to-ceiling band per second.
+
+The floor is a hard lower bound: no congestion state ever pushes an
+allowance below the contract's reservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qos.contracts import QosConfig
+
+__all__ = ["CongestionController"]
+
+# A tenant is an aggressor only when serving measurably above its
+# floor; the 5% band keeps float jitter from flagging a tenant that is
+# exactly at its reservation.
+_AGGRESSOR_BAND = 1.05
+
+
+class CongestionController:
+    def __init__(self, config: QosConfig, ceilings: np.ndarray):
+        self.config = config
+        self.floors = config.floors()
+        # Ceilings are handed in pre-clamped to a finite fabric-scale
+        # value by the plane (config ceilings may be inf).
+        self.ceilings = np.asarray(ceilings, dtype=np.float64).copy()
+        self.allow = self.ceilings.copy()
+        self.congested_ticks = 0
+        self.quiet_ticks = 0
+        self.throttle_events = 0
+        #: Per-tenant count of ticks the tenant was throttled as an
+        #: aggressor — the attribution record the telemetry layer and
+        #: the sweep's accounting surface.
+        self.aggressor_ticks = np.zeros(len(self.floors), dtype=np.int64)
+
+    def congested(self, scores: np.ndarray) -> bool:
+        """Overload predicate over per-OST congestion scores."""
+        if scores.size == 0:
+            return False
+        hot = scores >= self.config.congestion_threshold
+        return float(hot.mean()) >= self.config.congestion_fraction
+
+    def update(
+        self,
+        dt: float,
+        scores: np.ndarray,
+        served_rate: np.ndarray,
+        demand_rate: np.ndarray,
+    ) -> np.ndarray:
+        """One feedback step; returns the new per-tenant allowance."""
+        if self.congested(scores):
+            self.congested_ticks += 1
+            aggressor = (
+                (served_rate > self.floors * _AGGRESSOR_BAND)
+                & (demand_rate > self.floors)
+            )
+            if aggressor.any():
+                self.allow[aggressor] = (
+                    self.floors[aggressor]
+                    + (self.allow[aggressor] - self.floors[aggressor])
+                    * self.config.decrease
+                )
+                self.throttle_events += int(aggressor.sum())
+                self.aggressor_ticks[aggressor] += 1
+        else:
+            self.quiet_ticks += 1
+            band = self.ceilings - self.floors
+            self.allow = np.minimum(
+                self.ceilings,
+                self.allow + self.config.increase_per_s * band * dt,
+            )
+        np.maximum(self.allow, self.floors, out=self.allow)
+        return self.allow

@@ -1,0 +1,148 @@
+"""Decentralized token buckets with idle-to-busy borrowing (AdapTBF).
+
+One bucket per tenant, all state vectorized.  Each control tick mints
+``floor * dt`` tokens (bytes) per tenant.  A bucket already at
+capacity cannot keep its mint — that surplus is the signature of an
+*idle* tenant, and instead of evaporating it is pooled and granted to
+tenants whose demand exceeds their own refill, proportionally to their
+deficits and capped by their remaining bucket headroom (which encodes
+the ceiling).  The pool also receives the *unreserved* mint — the slice
+of guaranteed capacity no floor has claimed — so the scheme stays
+work-conserving when every tenant is busy: floors decide the split
+under contention, not the aggregate admitted rate.  Whatever the busy
+tenants cannot absorb is discarded.
+
+Every byte is ledgered: ``minted == kept + borrowed + discarded`` at
+all times, and the bucket balance satisfies
+
+    ``sum(tokens) == sum(initial) + minted - discarded - spent``
+
+— the conservation invariants the test suite pins down.  Borrowing
+therefore moves bandwidth between tenants without ever creating it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TokenBucketArray"]
+
+
+class TokenBucketArray:
+    """Per-tenant token buckets, refilled at the floor rate.
+
+    Parameters
+    ----------
+    floors:
+        Refill rate per tenant (bytes/s) — the contract floor.
+    capacities:
+        Bucket capacity per tenant (bytes); typically
+        ``ceiling * burst_window``.  Must be finite and positive.
+    unreserved:
+        Extra mint rate (bytes/s) paid into the shared surplus pool —
+        the guaranteed capacity left unclaimed by the floors.  Granted
+        to deficit tenants exactly like idle tenants' surplus.
+    """
+
+    def __init__(self, floors: np.ndarray, capacities: np.ndarray,
+                 unreserved: float = 0.0):
+        self.floors = np.asarray(floors, dtype=np.float64).copy()
+        self.capacity = np.asarray(capacities, dtype=np.float64).copy()
+        if (self.floors < 0).any():
+            raise ValueError("floors must be non-negative")
+        if not np.isfinite(self.capacity).all() or (self.capacity <= 0).any():
+            raise ValueError("bucket capacities must be finite and positive")
+        n = len(self.floors)
+        if len(self.capacity) != n:
+            raise ValueError("floors and capacities must align")
+        if unreserved < 0:
+            raise ValueError("unreserved mint rate must be >= 0")
+        self.unreserved = float(unreserved)
+        # Start half-full: a tenant can burst from the first instant
+        # without the opening tick minting the whole burst window.
+        self.tokens = self.capacity * 0.5
+        self.initial = self.tokens.copy()
+        # Byte ledgers (cumulative).
+        self.minted = 0.0
+        self.borrowed = 0.0
+        self.discarded = 0.0
+        self.spent = 0.0
+        self.overdraft = np.zeros(n)  # served beyond tokens, per tenant
+
+    @property
+    def n_tenants(self) -> int:
+        return len(self.floors)
+
+    def refill(self, dt: float, demand: np.ndarray) -> np.ndarray:
+        """One tick: mint, borrow, discard.  Returns borrowed per tenant.
+
+        ``demand`` is each tenant's observed desired rate (bytes/s) —
+        served plus throttled — used to size borrowing deficits so
+        tokens flow toward tenants that will actually spend them.
+        """
+        if dt <= 0:
+            return np.zeros(self.n_tenants)
+        demand = np.asarray(demand, dtype=np.float64)
+        mint = self.floors * dt
+        headroom = self.capacity - self.tokens
+        kept = np.minimum(mint, headroom)
+        surplus = float((mint - kept).sum()) + self.unreserved * dt
+        self.minted += float(mint.sum()) + self.unreserved * dt
+        self.tokens += kept
+        headroom -= kept
+        # Deficit: demand over the next tick beyond what the bucket
+        # already holds, bounded by the remaining headroom (the
+        # ceiling's burst budget).
+        deficit = np.minimum(
+            np.maximum(demand * dt - self.tokens, 0.0), headroom
+        )
+        total_deficit = float(deficit.sum())
+        if surplus <= 0.0 or total_deficit <= 0.0:
+            self.discarded += surplus
+            return np.zeros(self.n_tenants)
+        if total_deficit <= surplus:
+            granted = deficit
+        else:
+            granted = deficit * (surplus / total_deficit)
+        self.tokens += granted
+        granted_total = float(granted.sum())
+        self.borrowed += granted_total
+        self.discarded += surplus - granted_total
+        return granted
+
+    def spend(self, served: np.ndarray) -> np.ndarray:
+        """Deduct served bytes; returns per-tenant overdraft this call.
+
+        A tenant served beyond its tokens (the allocation window ran
+        ahead of the metering window) overdraws rather than errors —
+        the overdraft marks it over-contract, which is what the
+        congestion controller uses for aggressor attribution.
+        """
+        served = np.asarray(served, dtype=np.float64)
+        paid = np.minimum(self.tokens, np.maximum(served, 0.0))
+        self.tokens -= paid
+        self.spent += float(paid.sum())
+        over = np.maximum(served - paid, 0.0)
+        self.overdraft += over
+        return over
+
+    def allowance(self, horizon: float) -> np.ndarray:
+        """Rate each tenant may sustain over ``horizon`` seconds.
+
+        The bucket contents plus the floor refill that will arrive
+        during the horizon — so a drained bucket still allows the
+        floor, and a full one allows the burst.
+        """
+        return self.tokens / horizon + self.floors
+
+    def conservation_error(self) -> float:
+        """|initial + minted - discarded - spent - balance| in bytes.
+
+        Zero (to float rounding) by construction; the invariant the
+        determinism tests assert after arbitrary borrow/spend traffic.
+        """
+        balance = float(self.tokens.sum())
+        return abs(
+            float(self.initial.sum()) + self.minted - self.discarded
+            - self.spent - balance
+        )

@@ -188,8 +188,9 @@ def _base_label(label: str) -> str:
 def summarize(state_dir: str) -> dict:
     """Progress summary of a journal for status/partial rendering.
 
-    Per cell (plan label): planned/done/pending/retried/failed counts
-    plus elapsed seconds over completed jobs; overall totals include
+    Per cell (plan label): planned/done/pending/retried/failed counts,
+    jobs adopted from dead workers, plus elapsed seconds over completed
+    jobs; overall totals include
     the journal size in bytes.  Read-only: never creates the file.
     ``pending`` is planned minus done, floored at zero (a cell label
     reused across batches keeps only its latest plan).
@@ -201,7 +202,7 @@ def summarize(state_dir: str) -> dict:
     def cell(label: str) -> Dict[str, float]:
         return labels.setdefault(label, {
             "planned": 0, "done": 0, "retried": 0, "failed": 0,
-            "elapsed": 0.0,
+            "adopted": 0, "elapsed": 0.0,
         })
 
     done_jobs: Dict[str, str] = {}
@@ -219,6 +220,8 @@ def summarize(state_dir: str) -> dict:
             c["elapsed"] += float(rec.get("elapsed", 0.0))
             if int(rec.get("attempt", 0)) > 0:
                 c["retried"] += 1
+            if int(rec.get("adopted", 0)) > 0:
+                c["adopted"] += 1
             done_jobs[rec["job"]] = label
             failed_jobs.pop(rec["job"], None)
         elif kind == "failed" and "job" in rec:
@@ -238,6 +241,7 @@ def summarize(state_dir: str) -> dict:
         "pending": sum(int(c["pending"]) for c in labels.values()),
         "retried": sum(int(c["retried"]) for c in labels.values()),
         "failed": sum(int(c["failed"]) for c in labels.values()),
+        "adopted": sum(int(c["adopted"]) for c in labels.values()),
         "journal_bytes": size,
         "discarded_lines": discarded,
     }

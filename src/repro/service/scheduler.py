@@ -260,6 +260,10 @@ class Scheduler:
         self.stats = SchedulerStats()
         self._metrics_bound = False
         self._m: Dict[str, Any] = {}
+        # Adoption events per job id, folded into the job's eventual
+        # "done" journal record so status/partial views can attribute
+        # worker deaths to cells.
+        self._adopted_jobs: Dict[str, int] = {}
 
     # -- telemetry ---------------------------------------------------------
     def _bind_metrics(self) -> None:
@@ -303,6 +307,9 @@ class Scheduler:
             "elapsed": round(elapsed, 6),
             "result": encode_result(result),
         }
+        adopted = self._adopted_jobs.get(spec.job_id, 0)
+        if adopted:
+            rec["adopted"] = adopted
         if events is not None:
             rec["events"] = base64.b64encode(
                 pickle.dumps(events)
@@ -564,6 +571,9 @@ class Scheduler:
                     if adopted:
                         self.stats.adoptions += 1
                         self._count("adoptions")
+                        self._adopted_jobs[spec.job_id] = (
+                            self._adopted_jobs.get(spec.job_id, 0) + 1
+                        )
                     requeue(spec, attempt + 1, why)
                 outstanding = len(queue) + sum(
                     1 for s in shards if s.spec is not None

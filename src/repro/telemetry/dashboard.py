@@ -80,6 +80,19 @@ def _counter_total(snapshot: dict, name: str) -> Optional[float]:
     return total
 
 
+def _by_label(snapshot: dict, name: str, label: str) -> Dict[str, float]:
+    """Metric totals keyed by one label's value (e.g. per tenant)."""
+    out: Dict[str, float] = {}
+    for m in snapshot.get("metrics", ()):
+        if m["name"] != name or m["kind"] not in ("counter", "gauge"):
+            continue
+        key = m.get("labels", {}).get(label)
+        if key is None:
+            continue
+        out[str(key)] = out.get(str(key), 0.0) + float(m["state"])
+    return out
+
+
 def _pick_run(snapshot: dict) -> int:
     """The run with the most per-OST inflow samples (the main cell)."""
     counts: Dict[int, int] = {}
@@ -197,6 +210,39 @@ def _svg_timeseries(
     return "".join(parts) + note
 
 
+def _qos_table(snapshot: dict) -> Optional[str]:
+    """Per-tenant QoS panel: served/throttled bytes + aggressor ticks.
+
+    Returns None when the snapshot carries no QoS metrics (no control
+    plane installed), so the dashboard omits the section entirely.
+    """
+    served = _by_label(snapshot, "qos.served_bytes", "tenant")
+    if not served:
+        return None
+    throttled = _by_label(snapshot, "qos.throttled_bytes", "tenant")
+    aggro = _by_label(snapshot, "qos.aggressor_ticks", "tenant")
+    rows = []
+    for name in sorted(served):
+        s = served.get(name, 0.0)
+        th = throttled.get(name, 0.0)
+        at = aggro.get(name, 0.0)
+        frac = th / (s + th) if (s + th) > 0 else 0.0
+        tag = (
+            " <span style='color:#c0392b'>(aggressor)</span>"
+            if at > 0 else ""
+        )
+        rows.append(
+            f"<tr><td>{html.escape(name)}{tag}</td>"
+            f"<td>{s / 1e6:.1f}</td><td>{th / 1e6:.1f}</td>"
+            f"<td>{100.0 * frac:.1f}%</td><td>{int(at)}</td></tr>"
+        )
+    return (
+        "<table><tr><th>tenant</th><th>served (MB)</th>"
+        "<th>throttled (MB)</th><th>throttled share</th>"
+        "<th>aggressor ticks</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
 def _profile_table(profile: dict) -> str:
     sections = profile.get("sections", {})
     total = profile.get("wall_seconds", profile.get("tracked_seconds", 0.0))
@@ -284,6 +330,14 @@ def render_dashboard(
         "<h2>Stragglers</h2>",
         straggler_html,
     ]
+    qos_html = _qos_table(snapshot)
+    if qos_html is not None:
+        congested = _counter_total(snapshot, "qos.congested_ticks")
+        note = (
+            f"<p class='note'>congested controller ticks: "
+            f"{int(congested or 0)}</p>"
+        )
+        sections += ["<h2>QoS tenants</h2>", qos_html, note]
     if profile:
         sections += ["<h2>Self-profile (wall-clock)</h2>",
                      _profile_table(profile)]

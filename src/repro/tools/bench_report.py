@@ -143,7 +143,8 @@ def partial_records(state_dir: str) -> List[dict]:
 
     Bridges ``repro.tools.serve`` state dirs into this tool: each
     sweep cell becomes one record whose metrics are its
-    done/pending/retried/failed counts and elapsed seconds, so the
+    done/pending/retried/adopted/failed counts and elapsed seconds, so
+    the
     existing :func:`render_markdown` renders a progress table for a
     run that is still going (or died and awaits resume).
     """
@@ -159,7 +160,7 @@ def partial_records(state_dir: str) -> List[dict]:
                 {"metric": key, "current": float(c[key]),
                  "previous": None, "ratio": None}
                 for key in ("planned", "done", "pending", "retried",
-                            "failed", "elapsed")
+                            "adopted", "failed", "elapsed")
             ],
         })
     t = summary["totals"]
@@ -169,7 +170,7 @@ def partial_records(state_dir: str) -> List[dict]:
             {"metric": key, "current": float(t[key]),
              "previous": None, "ratio": None}
             for key in ("planned", "done", "pending", "retried",
-                        "failed", "journal_bytes")
+                        "adopted", "failed", "journal_bytes")
         ],
     })
     return records
@@ -271,7 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--partial", metavar="STATE_DIR", default=None,
         help="render the progress of an in-flight (or interrupted) "
         "resumable sweep from its journal instead of finished "
-        "results: per-cell done/pending/retried/failed counts from "
+        "results: per-cell done/pending/retried/adopted/failed counts "
+        "from "
         "STATE_DIR/journal.jsonl (see repro.tools.serve)",
     )
     return parser

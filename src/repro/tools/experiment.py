@@ -78,6 +78,12 @@ def _resilience(scale, seed):
     return resilience.run(scale, seed)
 
 
+def _qos(scale, seed):
+    from repro.harness.figures import qos
+
+    return qos.run(scale, seed)
+
+
 #: name -> callable returning the artifact's *result object* (render
 #: with ``.render()``; machine-readable payload via ``.to_dict()``).
 ARTIFACTS: Dict[str, Callable] = {
@@ -89,6 +95,7 @@ ARTIFACTS: Dict[str, Callable] = {
     "fig6": _fig6,
     "fig7": _fig7,
     "resilience": _resilience,
+    "qos": _qos,
 }
 
 

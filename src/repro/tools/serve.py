@@ -22,7 +22,7 @@ scheduler; when the pool is exhausted the sweep degrades to inline
 serial execution rather than dying (see DESIGN.md §14).
 
 ``status`` is read-only and safe to run while the daemon is live: it
-replays the journal and renders per-cell done/pending/retried/failed
+replays the journal and renders per-cell done/pending/retried/adopted/failed
 counts plus whatever the daemon last wrote to ``status.json``.
 """
 
@@ -293,18 +293,20 @@ def _status(args) -> int:
         c = summary["labels"][label]
         rows.append((
             label, int(c["planned"]), int(c["done"]), int(c["pending"]),
-            int(c["retried"]), int(c["failed"]),
+            int(c["retried"]), int(c.get("adopted", 0)),
+            int(c["failed"]),
             _fmt_seconds(c["elapsed"]),
         ))
     print(format_table(
-        ["cell", "planned", "done", "pending", "retried", "failed",
-         "elapsed"],
+        ["cell", "planned", "done", "pending", "retried", "adopted",
+         "failed", "elapsed"],
         rows,
         title=f"journal @ {state_dir}",
     ))
     print(
         f"\n{totals['done']}/{totals['planned']} jobs done, "
         f"{totals['pending']} pending, {totals['retried']} retried, "
+        f"{totals.get('adopted', 0)} adopted, "
         f"{totals['failed']} failed; journal "
         f"{totals['journal_bytes']} bytes"
         + (f" ({totals['discarded_lines']} corrupt line(s) ignored)"

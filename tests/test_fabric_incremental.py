@@ -181,3 +181,51 @@ def test_invalidate_is_synchronous_and_folds_deferral():
     settles = net.settle_count
     env.run(until=1e-9)
     assert net.settle_count == settles
+
+
+def _twin_churn(seed: int, n_ops: int, tag_tenants: bool) -> list:
+    """Replay one op sequence; optionally stamp tenant ids on flows.
+
+    Returns the full rate trajectory so two replays can be compared
+    float-for-float.
+    """
+    rng = np.random.default_rng(seed)
+    n_src, n_sinks = 32, 8
+    env = Environment()
+    pool = MutableCapPool(np.full(n_sinks, 2e8))
+    net = FlowNetwork(env, np.full(n_src, 1.6e9), pool)
+    live: list[int] = []
+    trajectory = []
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.5 or not live:
+            # Draw unconditionally so both replays consume the same
+            # RNG stream; only the tagged one uses the value.
+            draw = int(rng.integers(4))
+            tenant = draw if tag_tenants else -1
+            ev, fid = net.start_flow_with_id(
+                int(rng.integers(n_src)),
+                int(rng.integers(n_sinks)),
+                float(rng.uniform(1e6, 1e11)),
+                tenant=tenant,
+            )
+            _swallow(ev)
+            live.append(fid)
+        elif op < 0.75:
+            net.cancel_flow(live.pop(int(rng.integers(len(live)))))
+        else:
+            env.run(until=env.now + float(rng.uniform(1e-4, 5.0)))
+            live = [f for f in live if f in net._records]
+        net.invalidate()
+        act = np.nonzero(net._active)[0]
+        trajectory.append((env.now, net._rate[act].tolist()))
+    return trajectory
+
+
+def test_tenant_tagging_is_inert_without_limits():
+    """QoS disabled (no ``set_tenant_limits`` call): tenant-stamped
+    flows must allocate bit-identically to untagged ones.  This is the
+    guard that QoS plumbing costs nothing when the feature is off."""
+    tagged = _twin_churn(seed=23, n_ops=600, tag_tenants=True)
+    plain = _twin_churn(seed=23, n_ops=600, tag_tenants=False)
+    assert tagged == plain

@@ -13,7 +13,7 @@ class TestExperimentCli:
     def test_artifact_registry_covers_paper(self):
         assert set(ARTIFACTS) == {
             "fig1", "table1", "fig2", "fig3", "fig5", "fig6", "fig7",
-            "resilience",
+            "resilience", "qos",
         }
 
     def test_runs_one_artifact(self, capsys):
